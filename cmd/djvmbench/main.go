@@ -1,0 +1,78 @@
+// Command djvmbench regenerates the paper's tables and figures on the
+// simulated distributed JVM.
+//
+// Usage:
+//
+//	djvmbench -all                 # every table and figure, paper scale
+//	djvmbench -table 2 -scale 4    # one table at 1/4 dataset scale
+//	djvmbench -fig 9 -csv          # figure 9 as CSV series
+//
+// Paper scale (-scale 1) reproduces the exact datasets (SOR 2K×2K,
+// Barnes-Hut 4K bodies, Water-Spatial 512 molecules); larger -scale values
+// shrink datasets proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jessica2/internal/experiments"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "regenerate table N (1-5)")
+		fig   = flag.Int("fig", 0, "regenerate figure N (1 or 9)")
+		all   = flag.Bool("all", false, "regenerate everything")
+		scale = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	sc := experiments.Scale(*scale)
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, f func()) {
+		start := time.Now()
+		fmt.Printf("== %s (scale 1/%d) ==\n", name, *scale)
+		f()
+		fmt.Printf("-- regenerated in %v --\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	emit := func(t interface {
+		String() string
+	}) {
+		type csver interface{ CSV() string }
+		if *csv {
+			if c, ok := t.(csver); ok {
+				fmt.Println(c.CSV())
+				return
+			}
+		}
+		fmt.Println(t)
+	}
+
+	if *all || *table == 1 {
+		run("Table I", func() { emit(experiments.Table1(sc)) })
+	}
+	if *all || *table == 2 {
+		run("Table II", func() { emit(experiments.Table2(sc).Table()) })
+	}
+	if *all || *table == 3 {
+		run("Table III", func() { emit(experiments.Table3(sc).Table()) })
+	}
+	if *all || *table == 4 {
+		run("Table IV", func() { emit(experiments.Table4(sc).Table()) })
+	}
+	if *all || *table == 5 {
+		run("Table V", func() { emit(experiments.Table5(sc).Table()) })
+	}
+	if *all || *fig == 9 {
+		run("Figure 9", func() { emit(experiments.Fig9(sc).Table()) })
+	}
+	if *all || *fig == 1 {
+		run("Figure 1", func() { fmt.Println(experiments.Fig1(sc)) })
+	}
+}

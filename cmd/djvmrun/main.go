@@ -1,0 +1,123 @@
+// Command djvmrun executes one benchmark on the simulated distributed JVM
+// with chosen profiling settings and prints the run report, the thread
+// correlation map, and (optionally) a balancer plan derived from it.
+//
+// Usage:
+//
+//	djvmrun -app sor -threads 8 -rate full
+//	djvmrun -app bh -threads 16 -rate 4 -stack -footprint -plan
+//	djvmrun -app water -adaptive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"jessica2"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "sor", "benchmark: sor | bh | water | synth")
+		nodes     = flag.Int("nodes", 8, "cluster nodes")
+		threads   = flag.Int("threads", 8, "worker threads")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		rateStr   = flag.String("rate", "full", "sampling rate: off | full | <n> (nX)")
+		adaptive  = flag.Bool("adaptive", false, "enable the adaptive rate controller")
+		stackProf = flag.Bool("stack", false, "enable stack sampling (16ms, lazy)")
+		footprint = flag.Bool("footprint", false, "enable sticky-set footprinting")
+		showTCM   = flag.Bool("tcm", true, "print the thread correlation map")
+		plan      = flag.Bool("plan", false, "print a correlation-driven placement plan")
+	)
+	flag.Parse()
+
+	var w jessica2.Workload
+	switch strings.ToLower(*app) {
+	case "sor":
+		w = jessica2.NewSOR()
+	case "bh", "barnes-hut", "barneshut":
+		w = jessica2.NewBarnesHut()
+	case "water", "ws", "water-spatial":
+		w = jessica2.NewWaterSpatial()
+	case "synth", "synthetic":
+		w = jessica2.NewSynthetic()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	var rate jessica2.Rate
+	switch strings.ToLower(*rateStr) {
+	case "off", "0":
+		rate = 0
+	case "full":
+		rate = jessica2.FullRate
+	default:
+		n, err := strconv.Atoi(*rateStr)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad rate %q\n", *rateStr)
+			os.Exit(2)
+		}
+		rate = jessica2.Rate(n)
+	}
+
+	cfg := jessica2.DefaultConfig()
+	cfg.Nodes = *nodes
+	if rate == 0 {
+		cfg.Tracking = jessica2.TrackingOff
+	}
+	sys := jessica2.New(cfg)
+	sys.Launch(w, jessica2.Params{Threads: *threads, Seed: *seed})
+
+	pc := jessica2.ProfileConfig{Rate: rate}
+	if *adaptive {
+		ac := jessica2.DefaultAdaptiveConfig()
+		pc.Adaptive = &ac
+		pc.Rate = 0
+	}
+	if *stackProf {
+		sc := jessica2.DefaultStackConfig()
+		pc.Stack = &sc
+	}
+	if *footprint {
+		pc.Footprint = &jessica2.FootprintConfig{FootprinterConfig: jessica2.DefaultFootprinter()}
+	}
+	prof := sys.AttachProfiling(pc)
+
+	rep := sys.Run()
+	fmt.Printf("%s on %d nodes, %d threads\n\n%s\n", w.Name(), *nodes, *threads, rep)
+
+	if *adaptive {
+		fmt.Println("adaptive controller trace:")
+		for _, rc := range prof.RateTrace() {
+			fmt.Printf("  t=%v  %v -> %v  distance=%.4f converged=%v (resampled %d)\n",
+				rc.At, rc.From, rc.To, rc.Distance, rc.Converged, rc.Resampled)
+		}
+		fmt.Println()
+	}
+	if *footprint {
+		fmt.Println("sticky-set footprints (thread 0):")
+		fp := prof.Footprint(0)
+		for _, c := range fp.Classes() {
+			fmt.Printf("  %-10s %8d bytes\n", c, fp[c])
+		}
+		fmt.Println()
+	}
+	if *showTCM && rate != 0 {
+		fmt.Println("thread correlation map:")
+		fmt.Println(rep.TCM())
+	}
+	if *plan && rate != 0 {
+		m := rep.TCM()
+		cur := jessica2.BlockedPlacement(*threads, *nodes)
+		next, moves := jessica2.PlanPlacement(m, cur, *nodes)
+		fmt.Printf("placement plan: cross-volume %.0f -> %.0f bytes\n",
+			jessica2.CrossVolume(m, cur), jessica2.CrossVolume(m, next))
+		for _, mv := range moves {
+			fmt.Printf("  %s\n", mv)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package balancer implements the global load balancer the paper's
+// profiling output feeds ("the profiling results can be exploited for
+// effective thread-to-core placement and dynamic load balancing"). Given a
+// thread correlation map and per-thread sticky-set footprints, it computes
+// thread placements that maximize collocated sharing subject to a load
+// balance constraint, and migration plans that weigh the locality gain of a
+// move against its cost (context + sticky-set transfer) — the paper's §V
+// future-work policy, built out as an extension.
+package balancer
+
+import (
+	"fmt"
+	"sort"
+
+	"jessica2/internal/tcm"
+)
+
+// Assignment maps thread id to node id.
+type Assignment []int
+
+// Clone copies the assignment.
+func (a Assignment) Clone() Assignment { return append(Assignment(nil), a...) }
+
+// Counts returns per-node thread counts.
+func (a Assignment) Counts(nodes int) []int {
+	c := make([]int, nodes)
+	for _, n := range a {
+		c[n]++
+	}
+	return c
+}
+
+// CrossVolume is the total correlation volume between threads on different
+// nodes — the communication the placement pays for.
+func CrossVolume(m *tcm.Map, a Assignment) float64 {
+	var v float64
+	for i := 0; i < m.N(); i++ {
+		for j := i + 1; j < m.N(); j++ {
+			if a[i] != a[j] {
+				v += m.At(i, j)
+			}
+		}
+	}
+	return v
+}
+
+// LocalVolume is the collocated correlation volume.
+func LocalVolume(m *tcm.Map, a Assignment) float64 {
+	var v float64
+	for i := 0; i < m.N(); i++ {
+		for j := i + 1; j < m.N(); j++ {
+			if a[i] == a[j] {
+				v += m.At(i, j)
+			}
+		}
+	}
+	return v
+}
+
+// Config tunes the planner.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Slack is how many threads above the floor average a node may hold
+	// (load-balance constraint; 0 forces near-perfect balance).
+	Slack int
+	// MaxMoves caps the number of migrations in one plan (each migration
+	// has real cost; the paper warns against thread thrashing).
+	MaxMoves int
+	// MinGain is the minimum cross-volume reduction (bytes) to justify a
+	// move; combined with MoveCostBytes it implements the paper's
+	// gain-vs-footprint weighing.
+	MinGain float64
+	// MoveCostBytes charges each move a fixed byte-equivalent cost
+	// (context size plus expected sticky-set transfer).
+	MoveCostBytes float64
+	// HomeAffinity, when non-nil, is the thread×node matrix of shared
+	// volume with objects homed per node (gos.Master.HomeAffinity). It
+	// supplies the "home effect" the paper's §VI calls for: moving a
+	// thread toward the homes of its data is a gain even when its peer
+	// threads live elsewhere — and collocating a thread pair is worthless
+	// if their shared objects are homed at a third node.
+	HomeAffinity [][]float64
+	// HomeWeight scales the home-affinity term against the thread-pair
+	// term (0 disables; 1 weighs a byte homed right equal to a byte
+	// collocated).
+	HomeWeight float64
+}
+
+// DefaultConfig returns a conservative planner.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, Slack: 1, MaxMoves: 8, MinGain: 1, MoveCostBytes: 0}
+}
+
+// Move is one planned migration.
+type Move struct {
+	Thread int
+	From   int
+	To     int
+	Gain   float64 // cross-volume reduction in bytes
+}
+
+func (m Move) String() string {
+	return fmt.Sprintf("T%d: node%d→node%d (gain %.0f B)", m.Thread, m.From, m.To, m.Gain)
+}
+
+// Plan improves the current assignment by greedy best-move iteration: at
+// each step it evaluates every (thread, node) relocation that keeps the
+// load constraint and picks the one with the largest cross-volume
+// reduction, until no move clears MinGain + MoveCostBytes or MaxMoves is
+// reached.
+func Plan(m *tcm.Map, current Assignment, cfg Config) (Assignment, []Move) {
+	if cfg.Nodes <= 0 {
+		panic("balancer: config needs Nodes")
+	}
+	n := m.N()
+	if len(current) != n {
+		panic(fmt.Sprintf("balancer: assignment size %d != map dim %d", len(current), n))
+	}
+	a := current.Clone()
+	counts := a.Counts(cfg.Nodes)
+	maxPerNode := (n+cfg.Nodes-1)/cfg.Nodes + cfg.Slack
+	var moves []Move
+	if cfg.MaxMoves <= 0 {
+		cfg.MaxMoves = n
+	}
+
+	// attraction[t][d] = correlation volume between thread t and threads
+	// currently on node d, plus the weighted volume of t's data homed at d.
+	attraction := func(t, d int) float64 {
+		var v float64
+		for u := 0; u < n; u++ {
+			if u != t && a[u] == d {
+				v += m.At(t, u)
+			}
+		}
+		if cfg.HomeWeight > 0 && cfg.HomeAffinity != nil && t < len(cfg.HomeAffinity) {
+			row := cfg.HomeAffinity[t]
+			if d < len(row) {
+				v += cfg.HomeWeight * row[d]
+			}
+		}
+		return v
+	}
+
+	for len(moves) < cfg.MaxMoves {
+		best := Move{Gain: 0}
+		found := false
+		for t := 0; t < n; t++ {
+			from := a[t]
+			here := attraction(t, from)
+			for d := 0; d < cfg.Nodes; d++ {
+				if d == from || counts[d] >= maxPerNode {
+					continue
+				}
+				gain := attraction(t, d) - here
+				if gain > best.Gain {
+					best = Move{Thread: t, From: from, To: d, Gain: gain}
+					found = true
+				}
+			}
+		}
+		if !found || best.Gain < cfg.MinGain+cfg.MoveCostBytes {
+			break
+		}
+		a[best.Thread] = best.To
+		counts[best.From]--
+		counts[best.To]++
+		moves = append(moves, best)
+	}
+	return a, moves
+}
+
+// InitialPlacement clusters threads onto nodes from scratch: it repeatedly
+// seeds a node with the unplaced thread having the largest total
+// correlation and greedily pulls in its strongest partners until the node
+// reaches capacity. This approximates the costzone-style locality grouping
+// the paper cites.
+func InitialPlacement(m *tcm.Map, cfg Config) Assignment {
+	n := m.N()
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	capacity := (n + cfg.Nodes - 1) / cfg.Nodes
+	placed := 0
+	node := 0
+	for placed < n && node < cfg.Nodes {
+		// Seed: unplaced thread with max total volume.
+		seed, bestVol := -1, -1.0
+		for t := 0; t < n; t++ {
+			if a[t] != -1 {
+				continue
+			}
+			var v float64
+			for u := 0; u < n; u++ {
+				v += m.At(t, u)
+			}
+			if v > bestVol {
+				bestVol, seed = v, t
+			}
+		}
+		a[seed] = node
+		placed++
+		for count := 1; count < capacity && placed < n; count++ {
+			// Pull the unplaced thread most attracted to this node.
+			best, bestAtt := -1, -1.0
+			for t := 0; t < n; t++ {
+				if a[t] != -1 {
+					continue
+				}
+				var att float64
+				for u := 0; u < n; u++ {
+					if a[u] == node {
+						att += m.At(t, u)
+					}
+				}
+				if att > bestAtt {
+					bestAtt, best = att, t
+				}
+			}
+			a[best] = node
+			placed++
+		}
+		node++
+	}
+	// Anything left (shouldn't happen) goes round-robin.
+	for t := 0; t < n; t++ {
+		if a[t] == -1 {
+			a[t] = t % cfg.Nodes
+		}
+	}
+	return a
+}
+
+// RoundRobin is the locality-oblivious baseline placement.
+func RoundRobin(threads, nodes int) Assignment {
+	a := make(Assignment, threads)
+	for i := range a {
+		a[i] = i % nodes
+	}
+	return a
+}
+
+// Blocked places contiguous thread ranges per node (the typical DJVM
+// spawn-order placement).
+func Blocked(threads, nodes int) Assignment {
+	a := make(Assignment, threads)
+	per := (threads + nodes - 1) / nodes
+	for i := range a {
+		a[i] = i / per
+		if a[i] >= nodes {
+			a[i] = nodes - 1
+		}
+	}
+	return a
+}
+
+// Summary renders an assignment as node→threads lists for reports.
+func Summary(a Assignment, nodes int) string {
+	groups := make([][]int, nodes)
+	for t, d := range a {
+		groups[d] = append(groups[d], t)
+	}
+	out := ""
+	for d := 0; d < nodes; d++ {
+		sort.Ints(groups[d])
+		out += fmt.Sprintf("node%d: %v\n", d, groups[d])
+	}
+	return out
+}

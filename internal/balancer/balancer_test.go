@@ -1,0 +1,256 @@
+package balancer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jessica2/internal/tcm"
+)
+
+// pairMap builds a TCM where threads 2k and 2k+1 share volume v.
+func pairMap(n int, v float64) *tcm.Map {
+	m := tcm.NewMap(n)
+	for i := 0; i+1 < n; i += 2 {
+		m.Set(i, i+1, v)
+	}
+	return m
+}
+
+func TestCrossLocalComplementary(t *testing.T) {
+	m := pairMap(8, 100)
+	a := RoundRobin(8, 4)
+	total := 0.0
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			total += m.At(i, j)
+		}
+	}
+	if got := CrossVolume(m, a) + LocalVolume(m, a); math.Abs(got-total) > 1e-9 {
+		t.Fatalf("cross+local = %v, want %v", got, total)
+	}
+}
+
+func TestPlanReunitesPairs(t *testing.T) {
+	m := pairMap(8, 100)
+	// Round-robin splits every pair across 4 nodes.
+	cur := RoundRobin(8, 4)
+	if CrossVolume(m, cur) == 0 {
+		t.Fatal("test setup wrong: pairs should start split")
+	}
+	next, moves := Plan(m, cur, Config{Nodes: 4, Slack: 1, MaxMoves: 16, MinGain: 1})
+	if CrossVolume(m, next) != 0 {
+		t.Fatalf("cross volume %v after planning, want 0", CrossVolume(m, next))
+	}
+	if len(moves) == 0 {
+		t.Fatal("no moves planned")
+	}
+	// Load constraint: ceil(8/4)+1 = 3 max.
+	for node, c := range next.Counts(4) {
+		if c > 3 {
+			t.Fatalf("node %d overloaded with %d threads", node, c)
+		}
+	}
+}
+
+func TestPlanRespectsMaxMoves(t *testing.T) {
+	m := pairMap(16, 50)
+	cur := RoundRobin(16, 4)
+	_, moves := Plan(m, cur, Config{Nodes: 4, Slack: 1, MaxMoves: 2, MinGain: 1})
+	if len(moves) > 2 {
+		t.Fatalf("planned %d moves, cap was 2", len(moves))
+	}
+}
+
+func TestPlanMinGainBlocksChurn(t *testing.T) {
+	m := pairMap(4, 10)
+	cur := RoundRobin(4, 2)
+	_, moves := Plan(m, cur, Config{Nodes: 2, Slack: 1, MaxMoves: 8, MinGain: 1000})
+	if len(moves) != 0 {
+		t.Fatalf("moves planned below the gain threshold: %v", moves)
+	}
+}
+
+func TestPlanMoveCostWeighsAgainst(t *testing.T) {
+	m := pairMap(4, 10)
+	cur := RoundRobin(4, 2)
+	_, moves := Plan(m, cur, Config{Nodes: 2, Slack: 1, MaxMoves: 8, MinGain: 1, MoveCostBytes: 100})
+	if len(moves) != 0 {
+		t.Fatal("migration cost should have vetoed the moves")
+	}
+}
+
+func TestPlanNeverWorsens(t *testing.T) {
+	m := pairMap(8, 100)
+	m.Add(0, 2, 30)
+	m.Add(1, 3, 20)
+	cur := Blocked(8, 4)
+	before := CrossVolume(m, cur)
+	next, _ := Plan(m, cur, DefaultConfig(4))
+	after := CrossVolume(m, next)
+	if after > before {
+		t.Fatalf("plan worsened cross volume: %v -> %v", before, after)
+	}
+}
+
+func TestPlanDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatch did not panic")
+		}
+	}()
+	Plan(tcm.NewMap(4), make(Assignment, 3), DefaultConfig(2))
+}
+
+func TestInitialPlacementClusters(t *testing.T) {
+	m := pairMap(8, 100)
+	a := InitialPlacement(m, Config{Nodes: 4})
+	for i := 0; i+1 < 8; i += 2 {
+		if a[i] != a[i+1] {
+			t.Fatalf("pair (%d,%d) split by initial placement: %v", i, i+1, a)
+		}
+	}
+	counts := a.Counts(4)
+	for n, c := range counts {
+		if c != 2 {
+			t.Fatalf("node %d has %d threads, want 2: %v", n, c, a)
+		}
+	}
+}
+
+func TestBlockedAndRoundRobin(t *testing.T) {
+	b := Blocked(8, 4)
+	want := Assignment{0, 0, 1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("blocked = %v", b)
+		}
+	}
+	rr := RoundRobin(8, 4)
+	for i := range rr {
+		if rr[i] != i%4 {
+			t.Fatalf("round robin = %v", rr)
+		}
+	}
+}
+
+func TestBlockedUnevenClamps(t *testing.T) {
+	b := Blocked(5, 2)
+	for _, n := range b {
+		if n < 0 || n >= 2 {
+			t.Fatalf("out of range node: %v", b)
+		}
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	a := Assignment{1, 2, 3}
+	c := a.Clone()
+	c[0] = 9
+	if a[0] != 1 {
+		t.Fatal("clone aliases")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	s := Summary(Assignment{0, 1, 0}, 2)
+	if len(s) == 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+// Property: cross + local volume is invariant under any assignment.
+func TestQuickVolumeConservation(t *testing.T) {
+	f := func(cells [6]uint8, placement [4]uint8) bool {
+		m := tcm.NewMap(4)
+		k := 0
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				m.Set(i, j, float64(cells[k]))
+				k++
+			}
+		}
+		a := make(Assignment, 4)
+		for i := range a {
+			a[i] = int(placement[i]) % 2
+		}
+		var total float64
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				total += m.At(i, j)
+			}
+		}
+		return math.Abs(CrossVolume(m, a)+LocalVolume(m, a)-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Plan's result always satisfies the load constraint.
+func TestQuickPlanLoadConstraint(t *testing.T) {
+	f := func(cells [15]uint8) bool {
+		m := tcm.NewMap(6)
+		k := 0
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				m.Set(i, j, float64(cells[k]))
+				k++
+			}
+		}
+		cur := RoundRobin(6, 3)
+		next, _ := Plan(m, cur, Config{Nodes: 3, Slack: 0, MaxMoves: 10, MinGain: 1})
+		maxPer := 2 // ceil(6/3) + 0 slack
+		for _, c := range next.Counts(3) {
+			if c > maxPer {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHomeAwarePlan: the home-affinity term pulls a thread toward the node
+// hosting its data even without peer-thread attraction — the §VI "home
+// effect" extension.
+func TestHomeAwarePlan(t *testing.T) {
+	m := tcm.NewMap(4) // no thread-pair correlation at all
+	aff := [][]float64{
+		{0, 5000}, // thread 0's data homed on node 1
+		{0, 0},
+		{0, 0},
+		{0, 0},
+	}
+	cur := Assignment{0, 0, 1, 1}
+	next, moves := Plan(m, cur, Config{Nodes: 2, Slack: 1, MaxMoves: 4, MinGain: 1,
+		HomeAffinity: aff, HomeWeight: 1})
+	if next[0] != 1 {
+		t.Fatalf("thread 0 not pulled to its data's home: %v (moves %v)", next, moves)
+	}
+}
+
+// TestHomeAwareThirdNodeCase: the paper's tricky case — a pair shares data
+// homed at a third node. With the home term, the planner prefers moving
+// both threads to the data's home over merely collocating them.
+func TestHomeAwareThirdNodeCase(t *testing.T) {
+	m := tcm.NewMap(2)
+	m.Set(0, 1, 100) // the pair shares a little directly
+	aff := [][]float64{
+		{0, 0, 4000}, // but both threads' shared data is homed on node 2
+		{0, 0, 4000},
+	}
+	cur := Assignment{0, 1}
+	next, _ := Plan(m, cur, Config{Nodes: 3, Slack: 2, MaxMoves: 4, MinGain: 1,
+		HomeAffinity: aff, HomeWeight: 1})
+	if next[0] != 2 || next[1] != 2 {
+		t.Fatalf("pair not moved to the data home: %v", next)
+	}
+	// Without the home term they would just collocate anywhere.
+	blind, _ := Plan(m, cur, Config{Nodes: 3, Slack: 2, MaxMoves: 4, MinGain: 1})
+	if blind[0] == 2 && blind[1] == 2 {
+		t.Skip("blind plan coincidentally chose node 2")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"jessica2/internal/gos"
+	"jessica2/internal/sampling"
+	"jessica2/internal/sim"
+	"jessica2/internal/sticky"
+	"jessica2/internal/workload"
+)
+
+// smokeKernel builds a small 4-node kernel with tracking enabled.
+func smokeKernel(t *testing.T, mode gos.TrackingMode) *gos.Kernel {
+	t.Helper()
+	cfg := gos.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Tracking = mode
+	return gos.NewKernel(cfg)
+}
+
+func TestSmokeSyntheticRuns(t *testing.T) {
+	k := smokeKernel(t, gos.TrackingSampled)
+	w := workload.NewSynthetic()
+	w.Intervals = 4
+	w.AccessesPerInterval = 512
+	w.Launch(k, workload.Params{Threads: 4, Seed: 1})
+	Attach(k, Config{Rate: sampling.FullRate})
+	end := k.Run()
+	if end <= 0 {
+		t.Fatalf("no virtual time elapsed")
+	}
+	st := k.Stats()
+	if st.Intervals == 0 || st.CorrelationLogs == 0 {
+		t.Fatalf("expected intervals and logs, got %+v", st)
+	}
+	m, _ := k.TCM()
+	if m.N() != 4 {
+		t.Fatalf("TCM dim = %d", m.N())
+	}
+	if m.Total() == 0 {
+		t.Fatalf("TCM is empty")
+	}
+}
+
+func TestSmokeSORRuns(t *testing.T) {
+	k := smokeKernel(t, gos.TrackingSampled)
+	s := workload.NewSOR()
+	s.RowsN, s.Cols, s.Iters = 128, 256, 2
+	s.PointCost = 200 * sim.Nanosecond
+	s.Launch(k, workload.Params{Threads: 4, Seed: 1})
+	Attach(k, Config{Rate: sampling.FullRate, Stack: ptr(DefaultStackConfig())})
+	end := k.Run()
+	if end <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if k.Stats().Barriers == 0 {
+		t.Fatal("no barrier episodes")
+	}
+}
+
+func TestSmokeBarnesHutRuns(t *testing.T) {
+	k := smokeKernel(t, gos.TrackingSampled)
+	b := workload.NewBarnesHut()
+	b.NBodies, b.Rounds = 256, 2
+	b.Launch(k, workload.Params{Threads: 4, Seed: 2})
+	Attach(k, Config{Rate: 4, Stack: ptr(DefaultStackConfig()),
+		Footprint: &FootprintConfig{FootprinterConfig: sticky.DefaultFootprinterConfig()}})
+	end := k.Run()
+	if end <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if k.Stats().Faults == 0 {
+		t.Fatal("expected remote object faults")
+	}
+}
+
+func TestSmokeWaterRuns(t *testing.T) {
+	k := smokeKernel(t, gos.TrackingSampled)
+	w := workload.NewWaterSpatial()
+	w.NMol, w.Rounds = 128, 2
+	w.PairCost = 2 * sim.Microsecond
+	w.Launch(k, workload.Params{Threads: 4, Seed: 3})
+	Attach(k, Config{Rate: sampling.FullRate})
+	if end := k.Run(); end <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if k.Stats().LockAcquires == 0 {
+		t.Fatal("expected lock activity from box moves")
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

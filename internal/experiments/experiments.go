@@ -1,0 +1,205 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated distributed JVM. Each experiment has a
+// Run function returning a structured result whose String method renders
+// the paper-style table; cmd/djvmbench and the root bench suite call these.
+package experiments
+
+import (
+	"fmt"
+
+	"jessica2/internal/core"
+	"jessica2/internal/gos"
+	"jessica2/internal/network"
+	"jessica2/internal/pagesim"
+	"jessica2/internal/sampling"
+	"jessica2/internal/sim"
+	"jessica2/internal/sticky"
+	"jessica2/internal/tcm"
+	"jessica2/internal/workload"
+)
+
+// App identifies one of the paper's benchmarks.
+type App int
+
+// The paper's three applications.
+const (
+	AppSOR App = iota
+	AppBarnesHut
+	AppWaterSpatial
+)
+
+func (a App) String() string {
+	switch a {
+	case AppSOR:
+		return "SOR"
+	case AppBarnesHut:
+		return "Barnes-Hut"
+	case AppWaterSpatial:
+		return "Water-Spatial"
+	default:
+		return fmt.Sprintf("app(%d)", int(a))
+	}
+}
+
+// Apps lists the benchmarks in paper order.
+var Apps = []App{AppSOR, AppBarnesHut, AppWaterSpatial}
+
+// Scale shrinks the problem sizes for quick test runs; 1 = paper scale.
+// Values > 1 divide dataset dimensions (rows, bodies, molecules, rounds
+// are kept) so CI-speed runs preserve the experiment structure.
+type Scale int
+
+// NewWorkload instantiates an app. small selects the Table V dataset for
+// SOR (1K×1K); scale > 1 shrinks datasets for fast tests.
+func NewWorkload(a App, small bool, scale Scale) workload.Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	s := int(scale)
+	switch a {
+	case AppSOR:
+		w := workload.NewSOR()
+		if small {
+			w = workload.NewSORSmall()
+		}
+		w.RowsN /= s
+		w.Cols /= s
+		if w.RowsN < 32 {
+			w.RowsN = 32
+		}
+		if w.Cols < 32 {
+			w.Cols = 32
+		}
+		return w
+	case AppBarnesHut:
+		w := workload.NewBarnesHut()
+		w.NBodies /= s
+		if w.NBodies < 128 {
+			w.NBodies = 128
+		}
+		return w
+	case AppWaterSpatial:
+		w := workload.NewWaterSpatial()
+		w.NMol /= s
+		if w.NMol < 64 {
+			w.NMol = 64
+		}
+		return w
+	}
+	panic("experiments: unknown app")
+}
+
+// DataSetLabel is the Table IV/V "Data Set Size" column.
+func DataSetLabel(a App, small bool, scale Scale) string {
+	w := NewWorkload(a, small, scale)
+	return w.Characteristics().DataSet
+}
+
+// Spec configures one simulated run.
+type Spec struct {
+	App      App
+	Small    bool // Table V datasets (SOR 1K×1K)
+	Scale    Scale
+	Nodes    int
+	Threads  int
+	Seed     uint64
+	Tracking gos.TrackingMode
+	// Rate is the uniform sampling rate (0 = leave full-sampling gaps).
+	Rate sampling.Rate
+	// TransferOALs ships OALs to the master (Table II disables).
+	TransferOALs bool
+	// DistributedTCM enables worker-side OAL reduction (§VI extension).
+	DistributedTCM bool
+	// Stack / Footprint / Adaptive attach the respective profilers.
+	Stack     *core.StackConfig
+	Footprint *core.FootprintConfig
+	Adaptive  *core.AdaptiveConfig
+	// PageTracker attaches the page-based baseline (Fig. 1b).
+	PageTracker bool
+}
+
+// Out is the outcome of one run.
+type Out struct {
+	Spec     Spec
+	Exec     sim.Time
+	Stats    gos.KernelStats
+	Net      network.Stats
+	TCM      *tcm.Map
+	TCMCost  tcm.BuildCost
+	TCMTime  sim.Time // master analyzer CPU (dedicated machine)
+	PageTCM  *tcm.Map
+	Profiler *core.Profiler
+	// Footprints is the final per-thread sticky-set footprint (if
+	// footprinting was enabled).
+	Footprints map[int]sticky.Footprint
+}
+
+// ExecMs returns execution time in milliseconds.
+func (o *Out) ExecMs() float64 { return o.Exec.Milliseconds() }
+
+// OALKB is the profiling traffic in KB.
+func (o *Out) OALKB() float64 { return float64(o.Net.CatBytes(network.CatOAL)) / 1024 }
+
+// GOSKB is the protocol traffic (data + control + headers) in KB.
+func (o *Out) GOSKB() float64 {
+	return float64(o.Net.CatBytes(network.CatGOSData)+o.Net.CatBytes(network.CatControl)+o.Net.HeaderBytesTotal) / 1024
+}
+
+// Run executes one spec deterministically.
+func Run(spec Spec) *Out {
+	if spec.Nodes <= 0 {
+		spec.Nodes = 8
+	}
+	if spec.Threads <= 0 {
+		spec.Threads = spec.Nodes
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 42
+	}
+	kcfg := gos.DefaultConfig()
+	kcfg.Nodes = spec.Nodes
+	kcfg.Tracking = spec.Tracking
+	kcfg.TransferOALs = spec.TransferOALs
+	kcfg.DistributedTCM = spec.DistributedTCM
+	k := gos.NewKernel(kcfg)
+
+	w := NewWorkload(spec.App, spec.Small, spec.Scale)
+	w.Launch(k, workload.Params{Threads: spec.Threads, Seed: spec.Seed})
+
+	var tracker *pagesim.Tracker
+	if spec.PageTracker {
+		tracker = pagesim.NewTracker(spec.Threads)
+		k.AddObserver(tracker)
+	}
+
+	pcfg := core.Config{
+		Rate:      spec.Rate,
+		Stack:     spec.Stack,
+		Footprint: spec.Footprint,
+		Adaptive:  spec.Adaptive,
+	}
+	prof := core.Attach(k, pcfg)
+
+	out := &Out{Spec: spec, Profiler: prof}
+	out.Exec = k.Run()
+	k.FlushAllOAL()
+	out.Stats = k.Stats()
+	out.Net = k.Net.Stats()
+	if spec.Tracking != gos.TrackingOff {
+		out.TCM, out.TCMCost = k.TCM()
+		out.TCMTime = k.Master().ComputeTime()
+	}
+	if tracker != nil {
+		out.PageTCM = tracker.Build()
+	}
+	if spec.Footprint != nil {
+		out.Footprints = make(map[int]sticky.Footprint)
+		for tid, fp := range prof.Footprinters {
+			out.Footprints[tid] = fp.Footprint()
+		}
+	}
+	return out
+}
+
+// The tracker implements gos.AccessObserver directly.
+var _ gos.AccessObserver = (*pagesim.Tracker)(nil)

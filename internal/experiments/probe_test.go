@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// TestProbeFig9 prints the accuracy sweep at reduced scale (development
+// probe; the assertions here are loose — exact claims live in the
+// dedicated experiment tests).
+func TestProbeFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	r := Fig9(4)
+	t.Logf("\n%s", r)
+}
+
+func TestProbeFig1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	r := Fig1(4)
+	t.Logf("\n%s", r)
+}

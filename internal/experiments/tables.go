@@ -1,0 +1,445 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jessica2/internal/core"
+	"jessica2/internal/gos"
+	"jessica2/internal/metrics"
+	"jessica2/internal/sampling"
+	"jessica2/internal/sim"
+	"jessica2/internal/sticky"
+	"jessica2/internal/workload"
+)
+
+// table2Rates are the sampling-rate columns of Tables II and III.
+var table2Rates = []sampling.Rate{1, 4, 16, sampling.FullRate}
+
+// naRates mirrors the paper's N/A cells: rates at which a benchmark's
+// object geometry makes sampling degenerate (every object of the dominant
+// class is sampled anyway, so the configuration "does not apply"). SOR's
+// 16 KB rows exceed the page size at every rate; Water-Spatial's 512-byte
+// molecules saturate at 16X (8 objects fill a page).
+func rateNA(a App, r sampling.Rate) bool {
+	if r == sampling.FullRate {
+		return false
+	}
+	switch a {
+	case AppSOR:
+		return true // rows are larger than a page: only full is distinct
+	case AppWaterSpatial:
+		return r >= 16
+	}
+	return false
+}
+
+// --- Table I ----------------------------------------------------------------
+
+// Table1 renders the application benchmark characteristics.
+func Table1(scale Scale) *metrics.Table {
+	t := metrics.NewTable("TABLE I. APPLICATION BENCHMARK CHARACTERISTICS",
+		"Benchmark", "Data set", "Rounds", "Granularity", "Object size")
+	for _, a := range Apps {
+		c := NewWorkload(a, false, scale).Characteristics()
+		t.AddRow(c.Name, c.DataSet, fmt.Sprint(c.Rounds), c.Granularity, c.ObjectSize)
+	}
+	return t
+}
+
+// --- Table II ----------------------------------------------------------------
+
+// Table2Result holds the OAL-collection CPU overhead measurements.
+type Table2Result struct {
+	Scale Scale
+	// BaselineMs[app] is execution time without correlation tracking.
+	BaselineMs map[App]float64
+	// WithMs[app][rate] is execution time with collection (no transfer).
+	WithMs map[App]map[sampling.Rate]float64
+}
+
+// Table2 measures the pure CPU cost of OAL collection: a single thread per
+// application on one node, OAL transfer disabled (the paper's O1
+// methodology).
+func Table2(scale Scale) *Table2Result {
+	res := &Table2Result{
+		Scale:      scale,
+		BaselineMs: make(map[App]float64),
+		WithMs:     make(map[App]map[sampling.Rate]float64),
+	}
+	for _, a := range Apps {
+		base := Run(Spec{App: a, Scale: scale, Nodes: 1, Threads: 1,
+			Tracking: gos.TrackingOff})
+		res.BaselineMs[a] = base.ExecMs()
+		res.WithMs[a] = make(map[sampling.Rate]float64)
+		for _, r := range table2Rates {
+			if rateNA(a, r) {
+				continue
+			}
+			out := Run(Spec{App: a, Scale: scale, Nodes: 1, Threads: 1,
+				Tracking: gos.TrackingSampled, Rate: r, TransferOALs: false})
+			res.WithMs[a][r] = out.ExecMs()
+		}
+	}
+	return res
+}
+
+// Table renders the result in paper layout.
+func (r *Table2Result) Table() *metrics.Table {
+	t := metrics.NewTable("TABLE II. OVERHEAD OF OAL COLLECTION (ms, single thread, no OAL transfer)",
+		"Benchmark", "No Tracking", "1X", "4X", "16X", "Full")
+	for _, a := range Apps {
+		row := []string{a.String(), fmt.Sprintf("%.0f", r.BaselineMs[a])}
+		for _, rate := range table2Rates {
+			if rateNA(a, rate) {
+				row = append(row, "N/A")
+				continue
+			}
+			row = append(row, metrics.MsCell(r.WithMs[a][rate], r.BaselineMs[a]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func (r *Table2Result) String() string { return r.Table().String() }
+
+// --- Table III ---------------------------------------------------------------
+
+// Table3Cell is one (app, rate) measurement.
+type Table3Cell struct {
+	ExecMs    float64
+	OALKB     float64
+	OALShare  float64 // OAL / GOS volume
+	TCMTimeMs float64
+}
+
+// Table3Result holds the full correlation-tracking overhead measurements:
+// execution time with collect+send, message volumes, TCM computing time.
+type Table3Result struct {
+	Scale      Scale
+	BaselineMs map[App]float64
+	GOSKB      map[App]float64
+	Cells      map[App]map[sampling.Rate]Table3Cell
+}
+
+// Table3 runs the 8-node (one thread each) correlation tracking overhead
+// experiment.
+func Table3(scale Scale) *Table3Result {
+	res := &Table3Result{
+		Scale:      scale,
+		BaselineMs: make(map[App]float64),
+		GOSKB:      make(map[App]float64),
+		Cells:      make(map[App]map[sampling.Rate]Table3Cell),
+	}
+	for _, a := range Apps {
+		base := Run(Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
+			Tracking: gos.TrackingOff})
+		res.BaselineMs[a] = base.ExecMs()
+		res.Cells[a] = make(map[sampling.Rate]Table3Cell)
+		for _, rate := range table2Rates {
+			if rateNA(a, rate) {
+				continue
+			}
+			out := Run(Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
+				Tracking: gos.TrackingSampled, Rate: rate, TransferOALs: true})
+			cell := Table3Cell{
+				ExecMs:    out.ExecMs(),
+				OALKB:     out.OALKB(),
+				TCMTimeMs: out.TCMTime.Milliseconds(),
+			}
+			gos := out.GOSKB()
+			if res.GOSKB[a] == 0 {
+				res.GOSKB[a] = gos
+			}
+			if gos > 0 {
+				cell.OALShare = cell.OALKB / gos
+			}
+			res.Cells[a][rate] = cell
+		}
+	}
+	return res
+}
+
+// Table renders the result in paper layout (three stacked sections).
+func (r *Table3Result) Table() *metrics.Table {
+	t := metrics.NewTable("TABLE III. CORRELATION TRACKING OVERHEADS (8 nodes x 1 thread)",
+		"Benchmark", "Metric", "No Tracking", "1X", "4X", "16X", "Full")
+	for _, a := range Apps {
+		execRow := []string{a.String(), "Exec time (ms)", fmt.Sprintf("%.0f", r.BaselineMs[a])}
+		volRow := []string{"", "OAL vol KB (% of GOS)", fmt.Sprintf("GOS=%.0fKB", r.GOSKB[a])}
+		tcmRow := []string{"", "TCM compute (ms)", "-"}
+		for _, rate := range table2Rates {
+			if rateNA(a, rate) {
+				execRow = append(execRow, "N/A")
+				volRow = append(volRow, "N/A")
+				tcmRow = append(tcmRow, "N/A")
+				continue
+			}
+			c := r.Cells[a][rate]
+			execRow = append(execRow, metrics.MsCell(c.ExecMs, r.BaselineMs[a]))
+			volRow = append(volRow, fmt.Sprintf("%.0f (%.2f%%)", c.OALKB, c.OALShare*100))
+			tcmRow = append(tcmRow, fmt.Sprintf("%.0f", c.TCMTimeMs))
+		}
+		t.AddRow(execRow...)
+		t.AddRow(volRow...)
+		t.AddRow(tcmRow...)
+	}
+	return t
+}
+
+func (r *Table3Result) String() string { return r.Table().String() }
+
+// --- Table IV ----------------------------------------------------------------
+
+// Table4Row is one per-class sticky-set footprint accuracy measurement.
+type Table4Row struct {
+	App       App
+	Class     string
+	FullBytes float64 // average SS footprint at full sampling
+	DiffBytes float64 // average |4X − full| difference
+	Accuracy  float64
+}
+
+// Table4Result holds the sticky-set footprint accuracy study.
+type Table4Result struct {
+	Scale Scale
+	Rows  []Table4Row
+}
+
+// Table4 profiles sticky-set footprints at full sampling and at 4X with 8
+// threads per application and compares the per-class estimates.
+func Table4(scale Scale) *Table4Result {
+	res := &Table4Result{Scale: scale}
+	for _, a := range Apps {
+		full := runFootprint(a, scale, sampling.FullRate)
+		fourX := runFootprint(a, scale, 4)
+		// Average per class across threads.
+		classes := map[string]struct{}{}
+		for _, fp := range full.Footprints {
+			for c := range fp {
+				classes[c] = struct{}{}
+			}
+		}
+		names := make([]string, 0, len(classes))
+		for c := range classes {
+			names = append(names, c)
+		}
+		sortStrings(names)
+		n := float64(len(full.Footprints))
+		for _, cname := range names {
+			var fullSum, diffSum float64
+			for tid, fp := range full.Footprints {
+				fv := float64(fp[cname])
+				var xv float64
+				if x, ok := fourX.Footprints[tid]; ok {
+					xv = float64(x[cname])
+				}
+				fullSum += fv
+				diffSum += abs(fv - xv)
+			}
+			if fullSum == 0 {
+				continue
+			}
+			row := Table4Row{
+				App:       a,
+				Class:     cname,
+				FullBytes: fullSum / n,
+				DiffBytes: diffSum / n,
+			}
+			row.Accuracy = 1 - row.DiffBytes/row.FullBytes
+			if row.Accuracy < 0 {
+				row.Accuracy = 0
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+func runFootprint(a App, scale Scale, rate sampling.Rate) *Out {
+	fp := core.FootprintConfig{FootprinterConfig: sticky.FootprinterConfig{
+		MinAccesses: 2,
+		Nonstop:     true,
+		RearmPeriod: 1 * sim.Millisecond,
+		MinGap:      1,
+		ArmCost:     80 * sim.Nanosecond,
+		TrapBase:    150 * sim.Nanosecond,
+		TrapPerKB:   1536 * sim.Nanosecond,
+		EWMA:        0.5,
+	}}
+	return Run(Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
+		Tracking: gos.TrackingOff, Rate: rate, Footprint: &fp})
+}
+
+// Table renders Table IV in paper layout.
+func (r *Table4Result) Table() *metrics.Table {
+	t := metrics.NewTable("TABLE IV. ACCURACY OF STICKY-SET FOOTPRINT (8 threads; 4X vs full sampling)",
+		"Benchmark", "Class", "Avg SS footprint at full (bytes)", "Avg diff at 4X (bytes)", "Accuracy")
+	last := App(-1)
+	for _, row := range r.Rows {
+		name := ""
+		if row.App != last {
+			name = row.App.String()
+			last = row.App
+		}
+		t.AddRow(name, row.Class,
+			fmt.Sprintf("%.0f", row.FullBytes),
+			fmt.Sprintf("%.0f", row.DiffBytes),
+			fmt.Sprintf("%.2f%%", row.Accuracy*100))
+	}
+	return t
+}
+
+func (r *Table4Result) String() string { return r.Table().String() }
+
+// --- Table V -----------------------------------------------------------------
+
+// Table5Result holds the sticky-set profiling overhead measurements.
+type Table5Result struct {
+	Scale      Scale
+	BaselineMs map[App]float64
+	// StackMs[app][cfg] with cfg keys "imm4", "imm16", "lazy4", "lazy16".
+	StackMs map[App]map[string]float64
+	// FootMs[app][cfg] with cfg keys "non4X", "nonFull", "timer4X",
+	// "timerFull".
+	FootMs map[App]map[string]float64
+	// ResolveMs[app] is timer-4X footprinting + 16ms lazy stack sampling
+	// + eager per-interval resolution; ResolveBaseMs is the same config
+	// without resolution.
+	ResolveMs, ResolveBaseMs map[App]float64
+}
+
+var stackCfgs = []struct {
+	Key  string
+	Lazy bool
+	Gap  sim.Time
+}{
+	{"imm4", false, 4 * sim.Millisecond},
+	{"imm16", false, 16 * sim.Millisecond},
+	{"lazy4", true, 4 * sim.Millisecond},
+	{"lazy16", true, 16 * sim.Millisecond},
+}
+
+var footCfgs = []struct {
+	Key     string
+	Nonstop bool
+	Rate    sampling.Rate
+}{
+	{"non4X", true, 4},
+	{"nonFull", true, sampling.FullRate},
+	{"timer4X", false, 4},
+	{"timerFull", false, sampling.FullRate},
+}
+
+func footprintConfig(nonstop bool) *core.FootprintConfig {
+	return &core.FootprintConfig{FootprinterConfig: sticky.FootprinterConfig{
+		MinAccesses: 2,
+		Nonstop:     nonstop,
+		RearmPeriod: 1 * sim.Millisecond,
+		OnPhase:     100 * sim.Millisecond,
+		OffPhase:    100 * sim.Millisecond,
+		MinGap:      1,
+		ArmCost:     80 * sim.Nanosecond,
+		TrapBase:    150 * sim.Nanosecond,
+		TrapPerKB:   1536 * sim.Nanosecond,
+		EWMA:        0.5,
+	}}
+}
+
+// Table5 measures stack sampling, footprinting and resolution overheads on
+// single-thread runs (SOR at the 1K×1K dataset, per the paper).
+func Table5(scale Scale) *Table5Result {
+	res := &Table5Result{
+		Scale:         scale,
+		BaselineMs:    make(map[App]float64),
+		StackMs:       make(map[App]map[string]float64),
+		FootMs:        make(map[App]map[string]float64),
+		ResolveMs:     make(map[App]float64),
+		ResolveBaseMs: make(map[App]float64),
+	}
+	for _, a := range Apps {
+		small := a == AppSOR
+		base := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
+			Tracking: gos.TrackingOff})
+		res.BaselineMs[a] = base.ExecMs()
+
+		res.StackMs[a] = make(map[string]float64)
+		for _, sc := range stackCfgs {
+			out := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
+				Tracking: gos.TrackingOff,
+				Stack:    &core.StackConfig{Gap: sc.Gap, Lazy: sc.Lazy, MinSurvived: 1, Costs: core.DefaultStackCosts()}})
+			res.StackMs[a][sc.Key] = out.ExecMs()
+		}
+
+		res.FootMs[a] = make(map[string]float64)
+		for _, fc := range footCfgs {
+			out := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
+				Tracking: gos.TrackingOff, Rate: fc.Rate,
+				Footprint: footprintConfig(fc.Nonstop)})
+			res.FootMs[a][fc.Key] = out.ExecMs()
+		}
+
+		// Resolution overhead: timer-based 4X footprinting + lazy 16 ms
+		// stack sampling, with and without eager per-interval resolution.
+		stackCfg := &core.StackConfig{Gap: 16 * sim.Millisecond, Lazy: true, MinSurvived: 1, Costs: core.DefaultStackCosts()}
+		withBase := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
+			Tracking: gos.TrackingOff, Rate: 4,
+			Stack: stackCfg, Footprint: footprintConfig(false)})
+		res.ResolveBaseMs[a] = withBase.ExecMs()
+		fpr := footprintConfig(false)
+		fpr.EagerResolve = true
+		fpr.Resolver = sticky.DefaultResolverConfig()
+		withRes := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
+			Tracking: gos.TrackingOff, Rate: 4,
+			Stack: stackCfg, Footprint: fpr})
+		res.ResolveMs[a] = withRes.ExecMs()
+	}
+	return res
+}
+
+// Table renders Table V in paper layout.
+func (r *Table5Result) Table() *metrics.Table {
+	t := metrics.NewTable("TABLE V. OVERHEAD OF STICKY-SET FOOTPRINT PROFILING (ms, single thread)",
+		"Benchmark", "Data set", "Baseline",
+		"Stack imm 4ms", "Stack imm 16ms", "Stack lazy 4ms", "Stack lazy 16ms",
+		"Footprint nonstop 4X", "Footprint nonstop full",
+		"Footprint timer 4X", "Footprint timer full",
+		"+Resolution")
+	for _, a := range Apps {
+		base := r.BaselineMs[a]
+		row := []string{a.String(), DataSetLabel(a, a == AppSOR, r.Scale), fmt.Sprintf("%.0f", base)}
+		for _, sc := range stackCfgs {
+			row = append(row, metrics.MsCell(r.StackMs[a][sc.Key], base))
+		}
+		for _, fc := range footCfgs {
+			row = append(row, metrics.MsCell(r.FootMs[a][fc.Key], base))
+		}
+		row = append(row, metrics.MsCell(r.ResolveMs[a], r.ResolveBaseMs[a]))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func (r *Table5Result) String() string { return r.Table().String() }
+
+// --- helpers -----------------------------------------------------------------
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Characteristics re-exports the workload descriptor for Table I users.
+func Characteristics(a App, scale Scale) workload.Characteristics {
+	return NewWorkload(a, false, scale).Characteristics()
+}

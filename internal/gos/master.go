@@ -1,0 +1,169 @@
+package gos
+
+import (
+	"jessica2/internal/heap"
+	"jessica2/internal/oal"
+	"jessica2/internal/sim"
+	"jessica2/internal/tcm"
+)
+
+// Master is the correlation collector + analyzer daemon on the master JVM
+// (node 0). It ingests OAL batches, reorganizes them into per-object thread
+// lists and constructs correlation maps on demand. Its CPU cost is tracked
+// separately because the paper runs the analyzer on a dedicated machine
+// ("so that total execution time is not affected").
+type Master struct {
+	k       *Kernel
+	builder *tcm.Builder
+
+	ingestedRecords int64
+	ingestedEntries int64
+	reorgTime       sim.Time
+	buildTime       sim.Time
+
+	// homeAff accumulates thread×home-node shared volume — the "home
+	// effect" input the paper's §VI says thread migration decisions need
+	// ("objects shared by a pair of threads are homed at neither node of
+	// the threads"). homeAff[t][n] is the logged bytes of objects homed at
+	// node n that thread t accessed.
+	homeAff map[int]map[int]float64
+}
+
+func newMaster(k *Kernel) *Master {
+	return &Master{k: k}
+}
+
+func (m *Master) ensureBuilder() *tcm.Builder {
+	if m.builder == nil {
+		m.builder = tcm.NewBuilder(len(m.k.threads))
+	}
+	return m.builder
+}
+
+// Ingest consumes a batch arriving over the network (or locally on node 0).
+func (m *Master) Ingest(b *oal.Batch) {
+	if b == nil {
+		return
+	}
+	for _, r := range b.Records {
+		m.IngestLocal(r)
+	}
+}
+
+// IngestSummary merges a worker-side per-object summary (distributed-TCM
+// mode). Merging deduplicated summaries is cheaper than reorganizing raw
+// records, which is the point of the §VI extension.
+func (m *Master) IngestSummary(s *tcm.Summary) {
+	if s == nil {
+		return
+	}
+	bl := m.ensureBuilder()
+	bl.IngestSummary(s)
+	entries := 0
+	for _, o := range s.Objs {
+		entries += len(o.Threads)
+		m.ingestedEntries += int64(len(o.Threads))
+		for _, th := range o.Threads {
+			m.accrueHome(int(th), heap.ObjectID(o.Key), o.Bytes)
+		}
+	}
+	m.ingestedRecords++
+	m.reorgTime += sim.Time(entries) * m.k.Cfg.Costs.TCMPairCost // merge is cheap
+}
+
+// IngestPayload dispatches on the shipment kind.
+func (m *Master) IngestPayload(p *oalPayload) {
+	if p == nil {
+		return
+	}
+	m.Ingest(p.batch)
+	m.IngestSummary(p.sum)
+}
+
+// IngestLocal consumes one record without any network path (used when OAL
+// transfer is disabled but accuracy studies still need the data).
+func (m *Master) IngestLocal(r *oal.Record) {
+	bl := m.ensureBuilder()
+	bl.IngestRecord(r)
+	m.ingestedRecords++
+	m.ingestedEntries += int64(len(r.Entries))
+	m.reorgTime += sim.Time(len(r.Entries)) * m.k.Cfg.Costs.TCMReorgCostPerEntry
+	for _, e := range r.Entries {
+		m.accrueHome(r.Thread, e.Obj, float64(e.Bytes))
+	}
+}
+
+// accrueHome adds one logged access into the thread×home matrix.
+func (m *Master) accrueHome(thread int, id heap.ObjectID, bytes float64) {
+	o := m.k.Reg.Object(id)
+	if o == nil {
+		return
+	}
+	if m.homeAff == nil {
+		m.homeAff = make(map[int]map[int]float64)
+	}
+	row := m.homeAff[thread]
+	if row == nil {
+		row = make(map[int]float64)
+		m.homeAff[thread] = row
+	}
+	row[o.Home] += bytes
+}
+
+// HomeAffinity exports the thread×node shared-volume matrix for the given
+// dimensions (threads × nodes).
+func (m *Master) HomeAffinity(threads, nodes int) [][]float64 {
+	out := make([][]float64, threads)
+	for t := range out {
+		out[t] = make([]float64, nodes)
+		for n, v := range m.homeAff[t] {
+			if n >= 0 && n < nodes {
+				out[t][n] = v
+			}
+		}
+	}
+	return out
+}
+
+// Build constructs the TCM for n threads from everything ingested, charging
+// analyzer CPU for the accrual pass.
+func (m *Master) Build(n int) (*tcm.Map, tcm.BuildCost) {
+	bl := m.ensureBuilder()
+	mp, cost := bl.Build()
+	m.buildTime += sim.Time(cost.PairAdds)*m.k.Cfg.Costs.TCMPairCost +
+		sim.Time(cost.Objects)*m.k.Cfg.Costs.TCMReorgCostPerEntry
+	if mp.N() < n {
+		// The builder was sized before all threads spawned; rebuild wide.
+		wide := tcm.NewMap(n)
+		for i := 0; i < mp.N(); i++ {
+			for j := i + 1; j < mp.N(); j++ {
+				wide.Set(i, j, mp.At(i, j))
+			}
+		}
+		return wide, cost
+	}
+	return mp, cost
+}
+
+// ResetWindow clears ingested state for a fresh profiling window.
+func (m *Master) ResetWindow() {
+	if m.builder != nil {
+		m.builder.Reset()
+	}
+}
+
+// ComputeTime is the analyzer CPU consumed so far (reorg + accrual).
+func (m *Master) ComputeTime() sim.Time { return m.reorgTime + m.buildTime }
+
+// ReorgTime is the OAL-reorganization component of ComputeTime.
+func (m *Master) ReorgTime() sim.Time { return m.reorgTime }
+
+// BuildTime is the TCM-accrual component of ComputeTime.
+func (m *Master) BuildTime() sim.Time { return m.buildTime }
+
+// IngestedEntries reports how many OAL entries reached the daemon.
+func (m *Master) IngestedEntries() int64 { return m.ingestedEntries }
+
+// Summary exports the daemon's per-object state (input for home-migration
+// advice and hierarchical reductions).
+func (m *Master) Summary() *tcm.Summary { return m.ensureBuilder().Summarize() }

@@ -1,0 +1,301 @@
+package gos
+
+import (
+	"sort"
+
+	"jessica2/internal/heap"
+	"jessica2/internal/network"
+	"jessica2/internal/oal"
+	"jessica2/internal/sim"
+	"jessica2/internal/tcm"
+)
+
+// copyState is one node's replica header for a shared object: the 2-bit
+// object state of the paper (valid/invalid) plus the false-invalid flag
+// that triggers correlation faults, the fetched version (write-notice
+// equivalent), and twin bookkeeping for the current interval.
+type copyState struct {
+	obj          *heap.Object
+	valid        bool
+	falseInvalid bool
+	version      int64 // home version at fetch time
+	checkedEpoch int64 // last sync epoch at which staleness was evaluated
+	hasTwin      bool
+}
+
+// Node is one worker JVM: local heap cache, CPU, OAL buffer.
+type Node struct {
+	k   *Kernel
+	id  int
+	cpu *sim.Resource
+
+	copies map[heap.ObjectID]*copyState
+	// epoch advances at every synchronization point observed by the node
+	// (lock acquire, barrier release); cached copies are re-validated
+	// against home versions lazily when first touched in a new epoch.
+	epoch int64
+
+	// oalBuf holds closed-interval records awaiting shipment to master.
+	oalBuf        []*oal.Record
+	oalBufEntries int
+
+	// waiters for in-flight remote operations keyed by a token.
+	pending map[int64]*pendingOp
+	nextTok int64
+
+	// Stats
+	localHits int64
+}
+
+type pendingOp struct {
+	thread *Thread
+	done   bool
+	reply  interface{}
+}
+
+func newNode(k *Kernel, id int) *Node {
+	return &Node{
+		k:       k,
+		id:      id,
+		cpu:     sim.NewResource(k.Eng, nodeName(id)+".cpu"),
+		copies:  make(map[heap.ObjectID]*copyState),
+		pending: make(map[int64]*pendingOp),
+	}
+}
+
+func nodeName(id int) string {
+	return "node" + string(rune('0'+id%10)) + string(rune('0'+id/10%10))
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// CPU returns the node's processor resource.
+func (n *Node) CPU() *sim.Resource { return n.cpu }
+
+// Epoch returns the node's current synchronization epoch.
+func (n *Node) Epoch() int64 { return n.epoch }
+
+// copyOf returns (creating if needed) the node's replica header for o.
+// Home-node copies are created valid; remote copies start invalid.
+func (n *Node) copyOf(o *heap.Object) *copyState {
+	c := n.copies[o.ID]
+	if c == nil {
+		c = &copyState{obj: o}
+		if o.Home == n.id {
+			c.valid = true
+		}
+		n.copies[o.ID] = c
+	}
+	return c
+}
+
+// cachedObjectsOfClass returns the node's cached objects of a class sorted
+// by id — the set a resample change-notice must iterate.
+func (n *Node) cachedObjectsOfClass(class *heap.Class) []*copyState {
+	var out []*copyState
+	for _, c := range n.copies {
+		if c.obj.Class == class {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].obj.ID < out[j].obj.ID })
+	return out
+}
+
+// NumCopies reports how many replica headers the node holds.
+func (n *Node) NumCopies() int { return len(n.copies) }
+
+// --- message protocol ------------------------------------------------------
+
+type msgKind int
+
+const (
+	msgFetchReq msgKind = iota
+	msgFetchReply
+	msgDiff
+	msgOALBatch
+	msgLockReq
+	msgLockGrant
+	msgLockRelease
+	msgBarrierArrive
+	msgBarrierRelease
+	msgMigrateIn
+)
+
+type protoMsg struct {
+	kind    msgKind
+	tok     int64
+	obj     heap.ObjectID
+	objs    []heap.ObjectID // diff batch
+	lock    int
+	bar     int
+	parties int
+	oal     *oal.Batch
+	sum     *tcm.Summary // distributed-TCM summary payload
+	data    interface{}
+}
+
+// handleMessage is the node's network handler; it runs in scheduler context.
+func (n *Node) handleMessage(m *network.Message) {
+	pm := m.Payload.(*protoMsg)
+	switch pm.kind {
+	case msgFetchReq:
+		// Home-side service: charge service cost via a transient proc-less
+		// delay folded into the reply latency, then reply with the data.
+		o := n.k.Reg.MustObject(pm.obj)
+		reply := &protoMsg{kind: msgFetchReply, tok: pm.tok, obj: o.ID,
+			data: n.k.versions[o.ID]}
+		n.k.Eng.After(n.k.Cfg.Costs.HomeServiceCost, func() {
+			n.k.Net.Send(network.NodeID(n.id), m.From, network.CatGOSData, o.Bytes(), reply)
+		})
+	case msgFetchReply:
+		n.completePending(pm.tok, pm.data)
+	case msgDiff:
+		// Versions were advanced synchronously at interval close (the
+		// version table is the simulation's ground truth); this message
+		// models the diff traffic and the home-side application cost.
+		n.k.Eng.After(n.k.Cfg.Costs.HomeServiceCost, func() {})
+	case msgOALBatch:
+		n.k.master.IngestPayload(&oalPayload{batch: pm.oal, sum: pm.sum})
+	case msgLockReq:
+		n.k.lockRequest(pm.lock, m.From, pm.tok, pm.payload())
+	case msgLockGrant:
+		n.completePending(pm.tok, nil)
+	case msgLockRelease:
+		n.k.lockRelease(pm.lock)
+	case msgBarrierArrive:
+		n.k.barrierArrive(pm.bar, m.From, pm.tok, pm.payload(), pm.parties)
+	case msgBarrierRelease:
+		n.completePending(pm.tok, nil)
+	case msgMigrateIn:
+		if fn, ok := pm.data.(func()); ok {
+			fn()
+		}
+	}
+}
+
+// newToken registers a pending blocking operation for t.
+func (n *Node) newToken(t *Thread) int64 {
+	n.nextTok++
+	tok := n.nextTok
+	n.pending[tok] = &pendingOp{thread: t}
+	return tok
+}
+
+// completePending wakes the thread blocked on tok.
+func (n *Node) completePending(tok int64, reply interface{}) {
+	op := n.pending[tok]
+	if op == nil {
+		panic("gos: unknown pending token")
+	}
+	delete(n.pending, tok)
+	op.done = true
+	op.reply = reply
+	op.thread.proc.Wake()
+}
+
+// advanceEpoch marks a synchronization point: cached copies will be lazily
+// re-validated against home versions on next touch.
+func (n *Node) advanceEpoch() { n.epoch++ }
+
+// bufferOAL queues a closed interval's record; flushes a jumbo message when
+// the threshold is reached. Returns parts to piggyback instead when the
+// caller is about to send to the master anyway.
+func (n *Node) bufferOAL(r *oal.Record) {
+	if r == nil || len(r.Entries) == 0 {
+		return
+	}
+	n.oalBuf = append(n.oalBuf, r)
+	n.oalBufEntries += len(r.Entries)
+	n.k.stats.OALRecords++
+	n.k.stats.OALEntries += int64(len(r.Entries))
+	if n.oalBufEntries >= n.k.Cfg.OALFlushEntries {
+		n.flushOAL(nil)
+	}
+}
+
+// oalPayload is a drained OAL shipment: either raw records (central mode)
+// or a locally reorganized per-object summary (distributed mode).
+type oalPayload struct {
+	batch *oal.Batch
+	sum   *tcm.Summary
+	wire  int
+}
+
+// drainOAL empties the buffer for shipment. In distributed-TCM mode the
+// records are reorganized on the worker (charged to t when present — this
+// is the reorganization work the extension moves off the master) and only
+// the per-object summary travels. Returns nil if there is nothing to send.
+func (n *Node) drainOAL(t *Thread) *oalPayload {
+	if !n.k.Cfg.TransferOALs || len(n.oalBuf) == 0 {
+		return nil
+	}
+	recs := n.oalBuf
+	n.oalBuf = nil
+	n.oalBufEntries = 0
+	p := &oalPayload{}
+	if n.k.Cfg.DistributedTCM {
+		bl := tcm.NewBuilder(len(n.k.threads))
+		entries := 0
+		for _, r := range recs {
+			bl.IngestRecord(r)
+			entries += len(r.Entries)
+		}
+		if t != nil {
+			t.Charge(sim.Time(entries) * n.k.Cfg.Costs.TCMReorgCostPerEntry)
+		}
+		p.sum = bl.Summarize()
+		p.wire = p.sum.WireBytes()
+	} else {
+		p.batch = &oal.Batch{Records: recs}
+		p.wire = p.batch.WireBytes()
+	}
+	n.k.stats.OALWireBytes += int64(p.wire)
+	return p
+}
+
+// flushOAL ships buffered records to the master in a dedicated jumbo
+// message. The optional thread is charged packing CPU.
+func (n *Node) flushOAL(t *Thread) {
+	if !n.k.Cfg.TransferOALs {
+		// Collection without transfer (Table II's O1 isolation): drop,
+		// but still let the master learn entries locally at zero cost so
+		// accuracy studies can run in-process.
+		for _, r := range n.oalBuf {
+			n.k.master.IngestLocal(r)
+		}
+		n.oalBuf = nil
+		n.oalBufEntries = 0
+		return
+	}
+	p := n.drainOAL(t)
+	if p == nil {
+		return
+	}
+	if t != nil && p.batch != nil {
+		t.Charge(sim.Time(p.batch.NumEntries()) * n.k.Cfg.Costs.OALPackCostPerEntry)
+	}
+	if n.id == 0 {
+		// Local delivery to the master collector.
+		n.k.master.IngestPayload(p)
+		return
+	}
+	n.k.Net.Send(network.NodeID(n.id), 0, network.CatOAL, p.wire,
+		&protoMsg{kind: msgOALBatch, oal: p.batch, sum: p.sum})
+}
+
+// FlushAllOAL is called at end-of-run to drain any remaining records.
+func (k *Kernel) FlushAllOAL() {
+	for _, n := range k.nodes {
+		n.flushOAL(nil)
+	}
+}
+
+// payload extracts the message's OAL shipment, if any.
+func (pm *protoMsg) payload() *oalPayload {
+	if pm.oal == nil && pm.sum == nil {
+		return nil
+	}
+	return &oalPayload{batch: pm.oal, sum: pm.sum}
+}

@@ -1,0 +1,168 @@
+package gos
+
+import (
+	"fmt"
+
+	"jessica2/internal/network"
+)
+
+// lockState lives on the lock's manager node (id % nodes).
+type lockState struct {
+	home  int
+	held  bool
+	queue []lockWaiter
+}
+
+type lockWaiter struct {
+	node network.NodeID
+	tok  int64
+}
+
+func (k *Kernel) lockHome(id int) int { return id % len(k.nodes) }
+
+func (k *Kernel) lock(id int) *lockState {
+	ls := k.locks[id]
+	if ls == nil {
+		ls = &lockState{home: k.lockHome(id)}
+		k.locks[id] = ls
+	}
+	return ls
+}
+
+// Acquire obtains the distributed lock, applying remote write notices on
+// grant (the node's sync epoch advances, so cached copies revalidate
+// lazily). OALs piggyback on the request when the manager is the master.
+func (t *Thread) Acquire(lockID int) {
+	t.flushCPU()
+	home := t.k.lockHome(lockID)
+	tok := t.node.newToken(t)
+	parts := []network.Part{{Cat: network.CatControl, Bytes: 24}}
+	var pl *oalPayload
+	if home == 0 {
+		if pl = t.node.drainOAL(t); pl != nil {
+			parts = append(parts, network.Part{Cat: network.CatOAL, Bytes: pl.wire})
+		}
+	}
+	pm := &protoMsg{kind: msgLockReq, lock: lockID, tok: tok}
+	if pl != nil {
+		pm.oal, pm.sum = pl.batch, pl.sum
+	}
+	t.k.Net.SendParts(network.NodeID(t.node.id), network.NodeID(home), parts, pm)
+	t.proc.Block(fmt.Sprintf("lock%d", lockID))
+	t.node.advanceEpoch()
+	t.k.stats.LockAcquires++
+}
+
+// Release closes the current interval (flushing diffs and the OAL record)
+// and returns the lock to its manager.
+func (t *Thread) Release(lockID int) {
+	t.closeInterval()
+	t.flushCPU()
+	home := t.k.lockHome(lockID)
+	parts := []network.Part{{Cat: network.CatControl, Bytes: 16}}
+	var pl *oalPayload
+	if home == 0 {
+		if pl = t.node.drainOAL(t); pl != nil {
+			parts = append(parts, network.Part{Cat: network.CatOAL, Bytes: pl.wire})
+		}
+	}
+	pm := &protoMsg{kind: msgLockRelease, lock: lockID}
+	if pl != nil {
+		pm.oal, pm.sum = pl.batch, pl.sum
+	}
+	t.k.Net.SendParts(network.NodeID(t.node.id), network.NodeID(home), parts, pm)
+}
+
+// lockRequest runs on the manager node (scheduler context).
+func (k *Kernel) lockRequest(id int, from network.NodeID, tok int64, pl *oalPayload) {
+	k.master.IngestPayload(pl)
+	ls := k.lock(id)
+	k.Eng.After(k.Cfg.Costs.LockServiceCost, func() {
+		if !ls.held {
+			ls.held = true
+			k.grantLock(ls, lockWaiter{node: from, tok: tok})
+			return
+		}
+		ls.queue = append(ls.queue, lockWaiter{node: from, tok: tok})
+	})
+}
+
+// lockRelease runs on the manager node.
+func (k *Kernel) lockRelease(id int) {
+	ls := k.lock(id)
+	k.Eng.After(k.Cfg.Costs.LockServiceCost, func() {
+		if len(ls.queue) == 0 {
+			ls.held = false
+			return
+		}
+		next := ls.queue[0]
+		copy(ls.queue, ls.queue[1:])
+		ls.queue = ls.queue[:len(ls.queue)-1]
+		k.grantLock(ls, next)
+	})
+}
+
+func (k *Kernel) grantLock(ls *lockState, w lockWaiter) {
+	k.Net.Send(network.NodeID(ls.home), w.node, network.CatControl, 16,
+		&protoMsg{kind: msgLockGrant, tok: w.tok})
+}
+
+// barrierState lives on the master node.
+type barrierState struct {
+	parties int
+	arrived []lockWaiter
+	// Episodes counts completed barrier crossings.
+	Episodes int64
+}
+
+// Barrier joins a cluster-wide barrier with the given party count. The
+// calling thread's interval closes, its OALs piggyback on the arrival
+// message (the barrier manager is the master JVM), and on release the
+// node's sync epoch advances.
+func (t *Thread) Barrier(barrierID, parties int) {
+	if parties <= 0 {
+		panic("gos: barrier needs positive party count")
+	}
+	t.closeInterval()
+	t.flushCPU()
+	tok := t.node.newToken(t)
+	parts := []network.Part{{Cat: network.CatControl, Bytes: 16}}
+	pl := t.node.drainOAL(t)
+	if pl != nil {
+		parts = append(parts, network.Part{Cat: network.CatOAL, Bytes: pl.wire})
+	}
+	pm := &protoMsg{kind: msgBarrierArrive, bar: barrierID, tok: tok, parties: parties}
+	if pl != nil {
+		pm.oal, pm.sum = pl.batch, pl.sum
+	}
+	t.k.Net.SendParts(network.NodeID(t.node.id), 0, parts, pm)
+	t.proc.Block(fmt.Sprintf("barrier%d", barrierID))
+	t.node.advanceEpoch()
+}
+
+// barrierArrive runs on the master node. The party count travels in every
+// arrival message; arrivals must agree on it.
+func (k *Kernel) barrierArrive(id int, from network.NodeID, tok int64, pl *oalPayload, parties int) {
+	k.master.IngestPayload(pl)
+	bs := k.barriers[id]
+	if bs == nil {
+		bs = &barrierState{parties: parties}
+		k.barriers[id] = bs
+	}
+	if bs.parties != parties {
+		panic(fmt.Sprintf("gos: barrier %d party mismatch: %d vs %d", id, bs.parties, parties))
+	}
+	bs.arrived = append(bs.arrived, lockWaiter{node: from, tok: tok})
+	if len(bs.arrived) >= bs.parties {
+		waiters := bs.arrived
+		bs.arrived = nil
+		bs.Episodes++
+		k.stats.Barriers++
+		k.Eng.After(k.Cfg.Costs.BarrierServiceCost, func() {
+			for _, w := range waiters {
+				k.Net.Send(0, w.node, network.CatControl, 16,
+					&protoMsg{kind: msgBarrierRelease, tok: w.tok})
+			}
+		})
+	}
+}

@@ -1,0 +1,340 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newReg() *Registry { return NewRegistry() }
+
+func TestDefineClassBasics(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("Body", 56, 3)
+	if c.ID != 0 || c.Name != "Body" || c.Size != 56 || c.NumRefFields != 3 {
+		t.Fatalf("bad class: %+v", c)
+	}
+	if c.IsArray {
+		t.Fatal("scalar class marked array")
+	}
+	if r.Class("Body") != c {
+		t.Fatal("lookup failed")
+	}
+	if r.Class("nope") != nil {
+		t.Fatal("phantom class")
+	}
+}
+
+func TestDefineDuplicatePanics(t *testing.T) {
+	r := newReg()
+	r.DefineClass("X", 8, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate class did not panic")
+		}
+	}()
+	r.DefineClass("X", 16, 0)
+}
+
+func TestDefineBadSizesPanic(t *testing.T) {
+	r := newReg()
+	for _, f := range []func(){
+		func() { r.DefineClass("a", 0, 0) },
+		func() { r.DefineArrayClass("b", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad size did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSequenceNumbersScalar(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("X", 8, 0)
+	for i := int64(0); i < 5; i++ {
+		o := r.Alloc(c, 0)
+		if o.Seq != i {
+			t.Fatalf("seq = %d, want %d", o.Seq, i)
+		}
+	}
+}
+
+func TestSequenceNumbersArrayContinuous(t *testing.T) {
+	r := newReg()
+	c := r.DefineArrayClass("A", 4)
+	a := r.AllocArray(c, 4, 0)
+	b := r.AllocArray(c, 5, 0)
+	d := r.AllocArray(c, 3, 0)
+	if a.Seq != 0 || b.Seq != 4 || d.Seq != 9 {
+		t.Fatalf("starts = %d,%d,%d, want 0,4,9 (paper Fig. 3b)", a.Seq, b.Seq, d.Seq)
+	}
+}
+
+func TestAllocWrongKindPanics(t *testing.T) {
+	r := newReg()
+	s := r.DefineClass("S", 8, 0)
+	a := r.DefineArrayClass("A", 4)
+	for _, f := range []func(){
+		func() { r.Alloc(a, 0) },
+		func() { r.AllocArray(s, 3, 0) },
+		func() { r.AllocArray(a, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("mismatched alloc did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBytesAndPages(t *testing.T) {
+	r := newReg()
+	c := r.DefineArrayClass("double[]", 8)
+	row := r.AllocArray(c, 2048, 0) // 16 KB
+	if row.Bytes() != 16384 {
+		t.Fatalf("bytes = %d", row.Bytes())
+	}
+	first, last := row.PageSpan()
+	if last-first < 3 {
+		t.Fatalf("16KB object spans %d pages, want >= 4", last-first+1)
+	}
+	s := r.DefineClass("small", 32, 0)
+	a := r.Alloc(s, 1)
+	b := r.Alloc(s, 1)
+	if a.Page() != b.Page() {
+		t.Fatalf("two 32B objects on different pages: %d vs %d", a.Page(), b.Page())
+	}
+}
+
+func TestAddressAlignment(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("odd", 13, 0)
+	for i := 0; i < 10; i++ {
+		o := r.Alloc(c, 0)
+		if o.Addr%WordSize != 0 {
+			t.Fatalf("unaligned addr %d", o.Addr)
+		}
+	}
+}
+
+func TestHomeAssignment(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("X", 8, 0)
+	o1 := r.Alloc(c, 3)
+	o2 := r.Alloc(c, 5)
+	if o1.Home != 3 || o2.Home != 5 {
+		t.Fatal("home not the creating node")
+	}
+	if r.HeapBytes(3) == 0 || r.HeapBytes(5) == 0 || r.HeapBytes(7) != 0 {
+		t.Fatal("per-node heap accounting wrong")
+	}
+}
+
+func bruteSampledElems(start int64, n int, gap int64) int {
+	count := 0
+	for i := int64(0); i < int64(n); i++ {
+		if (start+i)%gap == 0 {
+			count++
+		}
+	}
+	return count
+}
+
+func TestSampledElemsKnown(t *testing.T) {
+	// Fig. 3(b): arrays of len 4, 5, 3 starting at seq 1, 5, 10.
+	cases := []struct {
+		start int64
+		n     int
+		gap   int64
+		want  int
+	}{
+		{1, 4, 3, 1},
+		{5, 5, 3, 2},
+		{10, 3, 3, 1},
+		{1, 4, 5, 0},
+		{5, 5, 5, 1},
+		{10, 3, 5, 1},
+		{1, 4, 7, 0},
+		{5, 5, 7, 1},
+		{10, 3, 7, 0},
+		{0, 10, 1, 10},
+		{0, 0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := SampledElems(c.start, c.n, c.gap); got != c.want {
+			t.Errorf("SampledElems(%d,%d,%d) = %d, want %d", c.start, c.n, c.gap, got, c.want)
+		}
+	}
+}
+
+// Property: SampledElems matches brute-force counting.
+func TestQuickSampledElems(t *testing.T) {
+	f := func(start uint16, n uint8, gap uint8) bool {
+		g := int64(gap%64) + 1
+		s := int64(start)
+		nn := int(n % 100)
+		return SampledElems(s, nn, g) == bruteSampledElems(s, nn, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampledPredicate(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("X", 8, 0)
+	c.SetGap(4, 5)
+	var sampled int
+	for i := 0; i < 100; i++ {
+		o := r.Alloc(c, 0)
+		if o.Sampled() {
+			sampled++
+			if o.Seq%5 != 0 {
+				t.Fatalf("object seq %d sampled at gap 5", o.Seq)
+			}
+		}
+	}
+	if sampled != 20 {
+		t.Fatalf("sampled %d of 100 at gap 5, want 20", sampled)
+	}
+}
+
+func TestArraySampledIfAnyElement(t *testing.T) {
+	r := newReg()
+	c := r.DefineArrayClass("A", 4)
+	c.SetGap(8, 7)
+	// len 10 > gap 7: always sampled.
+	big := r.AllocArray(c, 10, 0)
+	if !big.Sampled() {
+		t.Fatal("array longer than gap not sampled")
+	}
+	// Tiny arrays: sampled iff one of their seqs divides.
+	anySampled, anyUnsampled := false, false
+	for i := 0; i < 30; i++ {
+		a := r.AllocArray(c, 2, 0)
+		if a.Sampled() {
+			anySampled = true
+		} else {
+			anyUnsampled = true
+		}
+	}
+	if !anySampled || !anyUnsampled {
+		t.Fatal("short arrays should be mixed at gap 7")
+	}
+}
+
+func TestAmortizedBytes(t *testing.T) {
+	r := newReg()
+	a := r.DefineArrayClass("A", 8)
+	a.SetGap(4, 5)
+	arr := r.AllocArray(a, 20, 0) // seqs 0..19, gap 5 -> 4 sampled elems
+	if got := arr.AmortizedBytes(); got != 4*8 {
+		t.Fatalf("amortized = %d, want 32", got)
+	}
+	s := r.DefineClass("S", 56, 0)
+	s.SetGap(8, 7)
+	o := r.Alloc(s, 0)
+	if o.AmortizedBytes() != 56 {
+		t.Fatal("scalar amortized should be full size")
+	}
+}
+
+// Property: scaled amortized bytes estimate the full array size to within
+// one element-gap of error — the unbiasedness that defeats the large-array
+// correlation bias.
+func TestQuickAmortizedEstimator(t *testing.T) {
+	f := func(start uint16, n uint16, gap uint16) bool {
+		g := int64(gap%512) + 1
+		nn := int(n%4096) + 1
+		elems := SampledElems(int64(start), nn, g)
+		estimate := int64(elems) * 8 * g // scaled logged bytes
+		truth := int64(nn) * 8
+		diff := estimate - truth
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 8*g // at most one gap-stride of error
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectsSortedAndOfClass(t *testing.T) {
+	r := newReg()
+	a := r.DefineClass("A", 8, 0)
+	b := r.DefineClass("B", 8, 0)
+	for i := 0; i < 10; i++ {
+		r.Alloc(a, 0)
+		r.Alloc(b, 0)
+	}
+	all := r.ObjectsSorted()
+	if len(all) != 20 || r.NumObjects() != 20 {
+		t.Fatalf("have %d objects", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID <= all[i-1].ID {
+			t.Fatal("not sorted by id")
+		}
+	}
+	as := r.ObjectsOfClass(a)
+	if len(as) != 10 {
+		t.Fatalf("class A has %d objects", len(as))
+	}
+	for _, o := range as {
+		if o.Class != a {
+			t.Fatal("wrong class")
+		}
+	}
+}
+
+func TestMustObjectPanics(t *testing.T) {
+	r := newReg()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustObject on unknown id did not panic")
+		}
+	}()
+	r.MustObject(999)
+}
+
+func TestClassNamesSorted(t *testing.T) {
+	r := newReg()
+	r.DefineClass("zeta", 8, 0)
+	r.DefineClass("alpha", 8, 0)
+	names := r.ClassNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+	if len(r.Classes()) != 2 {
+		t.Fatal("Classes() wrong length")
+	}
+}
+
+func TestRefsAllocation(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("linked", 16, 2)
+	o := r.Alloc(c, 0)
+	if len(o.Refs) != 2 {
+		t.Fatalf("refs len = %d, want 2", len(o.Refs))
+	}
+}
+
+func TestSampledGapEdgeCases(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("X", 8, 0)
+	o := r.Alloc(c, 0)
+	if !o.SampledAtGap(1) {
+		t.Fatal("gap 1 must sample everything")
+	}
+	if o.SampledAtGap(0) || o.SampledAtGap(-3) {
+		t.Fatal("non-positive gap must sample nothing")
+	}
+}

@@ -1,0 +1,112 @@
+// Package metrics provides counters and plain-text table rendering for the
+// experiment harness (the paper's tables are regenerated as aligned text
+// and CSV).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table with an optional title.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (quotes on demand).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, 0, len(t.Headers))
+	for _, h := range t.Headers {
+		cells = append(cells, esc(h))
+	}
+	sb.WriteString(strings.Join(cells, ","))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		cells = cells[:0]
+		for _, c := range r {
+			cells = append(cells, esc(c))
+		}
+		sb.WriteString(strings.Join(cells, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Pct formats a relative change (a vs base) as the paper does: "(1.12%)".
+func Pct(value, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", (value-base)/base*100)
+}
+
+// MsCell formats milliseconds with an overhead percentage, Table II style:
+// "53844 (1.12%)".
+func MsCell(ms, baseMs float64) string {
+	return fmt.Sprintf("%.0f (%s)", ms, Pct(ms, baseMs))
+}

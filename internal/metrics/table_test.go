@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("TITLE", "Name", "Value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	s := tb.String()
+	if !strings.HasPrefix(s, "TITLE\n") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Fatalf("columns not aligned:\n%s", s)
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x")
+	if got := tb.Rows[0]; len(got) != 3 || got[1] != "" {
+		t.Fatalf("row = %v", got)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Fatalf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Fatalf("quote not doubled: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "A,B\n") {
+		t.Fatal("missing header row")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(110, 100) != "10.00%" {
+		t.Fatalf("pct = %s", Pct(110, 100))
+	}
+	if Pct(95, 100) != "-5.00%" {
+		t.Fatalf("pct = %s", Pct(95, 100))
+	}
+	if Pct(5, 0) != "n/a" {
+		t.Fatal("zero base must be n/a")
+	}
+}
+
+func TestMsCell(t *testing.T) {
+	if got := MsCell(53844, 53250); got != "53844 (1.12%)" {
+		t.Fatalf("cell = %q", got)
+	}
+}

@@ -1,0 +1,234 @@
+// Package network models the cluster interconnect of the distributed JVM:
+// a switched full-duplex network (Fast Ethernet in the paper's testbed) with
+// per-message latency, bandwidth-proportional transfer time, and per-category
+// traffic accounting. OAL (profiling) traffic can piggyback on protocol
+// messages, which is how the paper keeps profiling bandwidth bursty but
+// cheap.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"jessica2/internal/sim"
+)
+
+// NodeID identifies a cluster node. Node 0 is conventionally the master JVM.
+type NodeID int
+
+// Category classifies traffic for the accounting the paper reports
+// (Table III separates GOS message volume from OAL message volume).
+type Category int
+
+// Traffic categories.
+const (
+	CatControl   Category = iota // protocol control: lock grants, barrier msgs
+	CatGOSData                   // object fetches, diffs, write notices
+	CatOAL                       // object access list (profiling) payloads
+	CatMigration                 // thread contexts and prefetched sticky sets
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatControl:
+		return "control"
+	case CatGOSData:
+		return "gos-data"
+	case CatOAL:
+		return "oal"
+	case CatMigration:
+		return "migration"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// Part is one category's share of a (possibly piggybacked) message.
+type Part struct {
+	Cat   Category
+	Bytes int
+}
+
+// Message is what a handler receives.
+type Message struct {
+	From, To NodeID
+	Parts    []Part
+	Payload  interface{}
+	// SentAt / DeliveredAt are virtual times for latency diagnostics.
+	SentAt, DeliveredAt sim.Time
+}
+
+// TotalBytes sums all parts plus the fixed per-message header.
+func (m *Message) TotalBytes(headerBytes int) int {
+	n := headerBytes
+	for _, p := range m.Parts {
+		n += p.Bytes
+	}
+	return n
+}
+
+// Config sets the physical characteristics of the interconnect.
+type Config struct {
+	// Latency is the one-way propagation + protocol stack delay.
+	Latency sim.Time
+	// BandwidthBytesPerSec is the per-link throughput.
+	BandwidthBytesPerSec int64
+	// HeaderBytes is the fixed per-message overhead (Ethernet + IP + UDP +
+	// DJVM protocol header).
+	HeaderBytes int
+}
+
+// DefaultConfig approximates the paper's Fast Ethernet testbed.
+func DefaultConfig() Config {
+	return Config{
+		Latency:              120 * sim.Microsecond,
+		BandwidthBytesPerSec: 100_000_000 / 8, // 100 Mbps
+		HeaderBytes:          64,
+	}
+}
+
+// Handler consumes a delivered message. Handlers run in scheduler context
+// and must not block; they may wake procs and schedule events.
+type Handler func(*Message)
+
+// Stats aggregates per-category traffic.
+type Stats struct {
+	Bytes    [numCategories]int64
+	Messages [numCategories]int64
+	// HeaderBytesTotal counts fixed header overhead across all messages.
+	HeaderBytesTotal int64
+}
+
+// CatBytes returns the byte count for one category.
+func (s Stats) CatBytes(c Category) int64 { return s.Bytes[c] }
+
+// TotalBytes sums payload bytes over all categories plus headers.
+func (s Stats) TotalBytes() int64 {
+	var n int64 = s.HeaderBytesTotal
+	for _, b := range s.Bytes {
+		n += b
+	}
+	return n
+}
+
+// String renders the stats sorted by category for stable output.
+func (s Stats) String() string {
+	type row struct {
+		cat   Category
+		bytes int64
+		msgs  int64
+	}
+	var rows []row
+	for c := Category(0); c < numCategories; c++ {
+		rows = append(rows, row{c, s.Bytes[c], s.Messages[c]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].cat < rows[j].cat })
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("%s: %d bytes / %d msgs\n", r.cat, r.bytes, r.msgs)
+	}
+	return out
+}
+
+// Network connects a fixed set of nodes.
+type Network struct {
+	eng      *sim.Engine
+	cfg      Config
+	handlers map[NodeID]Handler
+	stats    Stats
+	perNode  map[NodeID]*Stats
+	inFlight int
+}
+
+// New creates a network over the engine with the given physical config.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.BandwidthBytesPerSec <= 0 {
+		panic("network: non-positive bandwidth")
+	}
+	return &Network{
+		eng:      eng,
+		cfg:      cfg,
+		handlers: make(map[NodeID]Handler),
+		perNode:  make(map[NodeID]*Stats),
+	}
+}
+
+// Bind installs the message handler for a node. Rebinding replaces the
+// previous handler.
+func (n *Network) Bind(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Config returns the physical configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of global traffic stats.
+func (n *Network) Stats() Stats { return n.stats }
+
+// NodeStats returns traffic originated by the given node.
+func (n *Network) NodeStats(id NodeID) Stats {
+	if s := n.perNode[id]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// InFlight reports messages sent but not yet delivered.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// TransferTime computes latency + serialization delay for a payload size.
+func (n *Network) TransferTime(totalBytes int) sim.Time {
+	ser := sim.Time(int64(totalBytes) * int64(sim.Second) / n.cfg.BandwidthBytesPerSec)
+	return n.cfg.Latency + ser
+}
+
+// Send transmits a single-category message. See SendParts.
+func (n *Network) Send(from, to NodeID, cat Category, bytes int, payload interface{}) {
+	n.SendParts(from, to, []Part{{Cat: cat, Bytes: bytes}}, payload)
+}
+
+// SendParts transmits a message whose payload is split across categories
+// (piggybacking): transfer time is charged on the total size while the
+// accounting splits per category. Local sends (from == to) are delivered
+// with zero delay and no traffic accounting.
+func (n *Network) SendParts(from, to NodeID, parts []Part, payload interface{}) {
+	msg := &Message{From: from, To: to, Parts: parts, Payload: payload, SentAt: n.eng.Now()}
+	if from == to {
+		n.eng.After(0, func() {
+			msg.DeliveredAt = n.eng.Now()
+			n.deliver(msg)
+		})
+		return
+	}
+	total := msg.TotalBytes(n.cfg.HeaderBytes)
+	n.account(from, parts)
+	n.inFlight++
+	n.eng.After(n.TransferTime(total), func() {
+		n.inFlight--
+		msg.DeliveredAt = n.eng.Now()
+		n.deliver(msg)
+	})
+}
+
+func (n *Network) account(from NodeID, parts []Part) {
+	ns := n.perNode[from]
+	if ns == nil {
+		ns = &Stats{}
+		n.perNode[from] = ns
+	}
+	n.stats.HeaderBytesTotal += int64(n.cfg.HeaderBytes)
+	ns.HeaderBytesTotal += int64(n.cfg.HeaderBytes)
+	for _, p := range parts {
+		n.stats.Bytes[p.Cat] += int64(p.Bytes)
+		n.stats.Messages[p.Cat]++
+		ns.Bytes[p.Cat] += int64(p.Bytes)
+		ns.Messages[p.Cat]++
+	}
+}
+
+func (n *Network) deliver(msg *Message) {
+	h := n.handlers[msg.To]
+	if h == nil {
+		panic(fmt.Sprintf("network: no handler bound for node %d", msg.To))
+	}
+	h(msg)
+}

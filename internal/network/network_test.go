@@ -1,0 +1,168 @@
+package network
+
+import (
+	"testing"
+
+	"jessica2/internal/sim"
+)
+
+func TestTransferTimeMath(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{Latency: 100 * sim.Microsecond, BandwidthBytesPerSec: 1_000_000, HeaderBytes: 0})
+	// 1 MB/s: 1000 bytes take 1 ms, plus 100 us latency.
+	got := n.TransferTime(1000)
+	want := 100*sim.Microsecond + 1*sim.Millisecond
+	if got != want {
+		t.Fatalf("transfer time = %v, want %v", got, want)
+	}
+}
+
+func TestZeroBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bandwidth did not panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{})
+}
+
+func TestDeliveryAndAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	var got *Message
+	n.Bind(1, func(m *Message) { got = m })
+	n.Bind(0, func(m *Message) {})
+	n.Send(0, 1, CatGOSData, 500, "payload")
+	if n.InFlight() != 1 {
+		t.Fatal("message not in flight")
+	}
+	eng.Run()
+	if got == nil || got.Payload.(string) != "payload" {
+		t.Fatal("message not delivered")
+	}
+	if got.DeliveredAt <= got.SentAt {
+		t.Fatal("no latency applied")
+	}
+	st := n.Stats()
+	if st.CatBytes(CatGOSData) != 500 {
+		t.Fatalf("gos bytes = %d", st.CatBytes(CatGOSData))
+	}
+	if st.HeaderBytesTotal != int64(DefaultConfig().HeaderBytes) {
+		t.Fatal("header not accounted")
+	}
+	if n.InFlight() != 0 {
+		t.Fatal("in-flight count not decremented")
+	}
+}
+
+func TestPiggybackParts(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	n.Bind(0, func(m *Message) {})
+	var parts int
+	n.Bind(1, func(m *Message) { parts = len(m.Parts) })
+	n.SendParts(0, 1, []Part{
+		{Cat: CatControl, Bytes: 16},
+		{Cat: CatOAL, Bytes: 4000},
+	}, nil)
+	eng.Run()
+	if parts != 2 {
+		t.Fatalf("parts = %d", parts)
+	}
+	st := n.Stats()
+	if st.CatBytes(CatControl) != 16 || st.CatBytes(CatOAL) != 4000 {
+		t.Fatalf("split accounting wrong: %v", st)
+	}
+	// One message, one header.
+	if st.HeaderBytesTotal != int64(DefaultConfig().HeaderBytes) {
+		t.Fatal("piggyback must pay one header")
+	}
+}
+
+func TestLocalDeliveryFreeAndUncounted(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	delivered := false
+	n.Bind(0, func(m *Message) { delivered = true })
+	n.Send(0, 0, CatOAL, 9999, nil)
+	eng.Run()
+	if !delivered {
+		t.Fatal("local message lost")
+	}
+	if n.Stats().TotalBytes() != 0 {
+		t.Fatal("local messages must not count as traffic")
+	}
+	if eng.Now() != 0 {
+		t.Fatal("local delivery must be instantaneous")
+	}
+}
+
+func TestPerNodeStats(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	for i := NodeID(0); i < 3; i++ {
+		n.Bind(i, func(m *Message) {})
+	}
+	n.Send(1, 2, CatGOSData, 100, nil)
+	n.Send(2, 1, CatGOSData, 300, nil)
+	eng.Run()
+	if n.NodeStats(1).CatBytes(CatGOSData) != 100 {
+		t.Fatal("node 1 stats wrong")
+	}
+	if n.NodeStats(2).CatBytes(CatGOSData) != 300 {
+		t.Fatal("node 2 stats wrong")
+	}
+	if n.NodeStats(7).TotalBytes() != 0 {
+		t.Fatal("unknown node should be zero")
+	}
+}
+
+func TestUnboundHandlerPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	n.Bind(0, func(m *Message) {})
+	n.Send(0, 5, CatControl, 10, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("unbound destination did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+func TestFIFOPerOrderedSends(t *testing.T) {
+	// Equal-size messages sent back-to-back arrive in order.
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	n.Bind(0, func(m *Message) {})
+	var order []int
+	n.Bind(1, func(m *Message) { order = append(order, m.Payload.(int)) })
+	for i := 0; i < 5; i++ {
+		n.Send(0, 1, CatControl, 64, i)
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatOAL.String() != "oal" || CatGOSData.String() != "gos-data" {
+		t.Fatal("category names wrong")
+	}
+	if Category(99).String() == "" {
+		t.Fatal("unknown category must render")
+	}
+	if len(Stats{}.String()) == 0 {
+		t.Fatal("stats string empty")
+	}
+}
+
+func TestMessageTotalBytes(t *testing.T) {
+	m := &Message{Parts: []Part{{CatControl, 10}, {CatOAL, 20}}}
+	if m.TotalBytes(64) != 94 {
+		t.Fatalf("total = %d", m.TotalBytes(64))
+	}
+}

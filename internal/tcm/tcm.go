@@ -1,0 +1,265 @@
+// Package tcm implements the thread correlation map (TCM): the N×N
+// histogram of shared data volume between each pair of threads, the
+// correlation-computing daemon that builds it from object access lists, and
+// the Euclidean / absolute distance metrics (paper equations 1 and 2) used
+// to quantify sampling accuracy.
+package tcm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"jessica2/internal/oal"
+)
+
+// Map is a symmetric N×N matrix of shared bytes per thread pair. The
+// diagonal is unused (self-sharing is not correlation).
+type Map struct {
+	n     int
+	cells []float64
+}
+
+// NewMap returns an N×N zero map.
+func NewMap(n int) *Map {
+	if n < 0 {
+		panic("tcm: negative dimension")
+	}
+	return &Map{n: n, cells: make([]float64, n*n)}
+}
+
+// N returns the dimension (thread count).
+func (m *Map) N() int { return m.n }
+
+// At returns the shared volume between threads i and j.
+func (m *Map) At(i, j int) float64 { return m.cells[i*m.n+j] }
+
+// Add accrues v bytes of shared volume symmetrically between i and j.
+// Adding to the diagonal is ignored.
+func (m *Map) Add(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	m.cells[i*m.n+j] += v
+	m.cells[j*m.n+i] += v
+}
+
+// Set assigns the cell symmetrically.
+func (m *Map) Set(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	m.cells[i*m.n+j] = v
+	m.cells[j*m.n+i] = v
+}
+
+// Total returns the sum of all off-diagonal cells (each pair counted twice,
+// consistently for both operands of a distance).
+func (m *Map) Total() float64 {
+	s := 0.0
+	for _, v := range m.cells {
+		s += v
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (m *Map) Clone() *Map {
+	c := NewMap(m.n)
+	copy(c.cells, m.cells)
+	return c
+}
+
+// Scale multiplies every cell by f, in place, returning the map.
+func (m *Map) Scale(f float64) *Map {
+	for i := range m.cells {
+		m.cells[i] *= f
+	}
+	return m
+}
+
+// MaxCell returns the largest cell value.
+func (m *Map) MaxCell() float64 {
+	mx := 0.0
+	for _, v := range m.cells {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// DistanceEUC is the paper's equation (1): the Euclidean norm of A−B
+// normalized by the Euclidean norm of B.
+func DistanceEUC(a, b *Map) float64 {
+	checkDims(a, b)
+	var num, den float64
+	for i := range a.cells {
+		d := a.cells[i] - b.cells[i]
+		num += d * d
+		den += b.cells[i] * b.cells[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num) / math.Sqrt(den)
+}
+
+// DistanceABS is the paper's equation (2): the elementwise absolute
+// difference normalized by the total volume of B.
+func DistanceABS(a, b *Map) float64 {
+	checkDims(a, b)
+	var num, den float64
+	for i := range a.cells {
+		num += math.Abs(a.cells[i] - b.cells[i])
+		den += b.cells[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// Accuracy converts a distance into the paper's accuracy percentage
+// (1 − E, floored at zero).
+func Accuracy(distance float64) float64 {
+	a := 1 - distance
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+func checkDims(a, b *Map) {
+	if a.n != b.n {
+		panic(fmt.Sprintf("tcm: dimension mismatch %d vs %d", a.n, b.n))
+	}
+}
+
+// String renders a compact ASCII heat map (shades by relative magnitude),
+// which is how cmd/tcmviz draws Fig. 1.
+func (m *Map) String() string {
+	shades := []byte(" .:-=+*#%@")
+	mx := m.MaxCell()
+	var sb strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			v := m.At(i, j)
+			k := 0
+			if mx > 0 {
+				k = int(v / mx * float64(len(shades)-1))
+			}
+			sb.WriteByte(shades[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// BuildCost records the work the correlation daemon performed, used by the
+// simulator to charge CPU time: reorganization is O(M·N̄) over M objects
+// and TCM accrual is O(M·N²) worst case (PairAdds counts the realized
+// pairwise additions).
+type BuildCost struct {
+	Records  int
+	Entries  int
+	Objects  int   // M: distinct objects seen
+	PairAdds int64 // realized accrual operations
+}
+
+// Builder is the correlation-computing daemon state: it ingests OAL batches
+// and reorganizes per-thread lists into per-object thread lists.
+type Builder struct {
+	n    int
+	objs map[int64]*objEntry
+	cost BuildCost
+}
+
+type objEntry struct {
+	bytes   float64
+	threads map[int]struct{}
+}
+
+// NewBuilder returns a daemon for n threads.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, objs: make(map[int64]*objEntry)}
+}
+
+// N returns the thread-count dimension.
+func (b *Builder) N() int { return b.n }
+
+// Ingest reorganizes one batch of records into the per-object lists.
+func (b *Builder) Ingest(batch *oal.Batch) {
+	for _, r := range batch.Records {
+		b.IngestRecord(r)
+	}
+}
+
+// IngestRecord reorganizes one record.
+func (b *Builder) IngestRecord(r *oal.Record) {
+	b.cost.Records++
+	for _, e := range r.Entries {
+		b.cost.Entries++
+		b.AddAccess(r.Thread, int64(e.Obj), float64(e.Bytes))
+	}
+}
+
+// AddAccess records that thread t accessed the keyed object with the given
+// logged weight. The weight of the first log wins (all threads log the same
+// amortized size for the same object at the same gap); larger weights
+// replace smaller ones so that re-logging at a finer gap upgrades the entry.
+func (b *Builder) AddAccess(t int, key int64, bytes float64) {
+	oe := b.objs[key]
+	if oe == nil {
+		oe = &objEntry{threads: make(map[int]struct{}, 2)}
+		b.objs[key] = oe
+	}
+	if bytes > oe.bytes {
+		oe.bytes = bytes
+	}
+	oe.threads[t] = struct{}{}
+}
+
+// Build constructs the TCM by accruing, for every object, its weight into
+// every pair of threads that accessed it in common.
+func (b *Builder) Build() (*Map, BuildCost) {
+	m := NewMap(b.n)
+	b.cost.Objects = len(b.objs)
+	// Deterministic iteration: sort object keys.
+	keys := make([]int64, 0, len(b.objs))
+	for k := range b.objs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		oe := b.objs[k]
+		if len(oe.threads) < 2 {
+			continue
+		}
+		ts := make([]int, 0, len(oe.threads))
+		for t := range oe.threads {
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				m.Add(ts[i], ts[j], oe.bytes)
+				b.cost.PairAdds++
+			}
+		}
+	}
+	return m, b.cost
+}
+
+// Reset clears ingested state for the next profiling window.
+func (b *Builder) Reset() {
+	b.objs = make(map[int64]*objEntry)
+	b.cost = BuildCost{}
+}

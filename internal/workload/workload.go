@@ -1,0 +1,66 @@
+// Package workload ports the paper's benchmark programs — SOR, Barnes-Hut
+// and Water-Spatial from SPLASH-2 — onto the simulated distributed JVM, and
+// adds synthetic generators used by tests and examples. Each workload
+// allocates its shared data through the GOS (so homes distribute as the
+// paper's first-creator rule dictates), drives every shared access through
+// the inlined check path, synchronizes with the DJVM barriers/locks, and
+// maintains realistic shadow stacks so the stack profiler sees transient
+// frames above stable frames holding invariant references.
+package workload
+
+import (
+	"fmt"
+
+	"jessica2/internal/gos"
+)
+
+// Params configures one workload launch.
+type Params struct {
+	// Threads is the worker thread count.
+	Threads int
+	// Placement maps thread id to node id; nil means blocked placement
+	// (contiguous thread ranges per node, the DJVM spawn-order default).
+	Placement []int
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// placement resolves the effective thread→node map.
+func (p Params) placement(nodes int) []int {
+	if p.Placement != nil {
+		if len(p.Placement) != p.Threads {
+			panic(fmt.Sprintf("workload: placement size %d != threads %d", len(p.Placement), p.Threads))
+		}
+		return p.Placement
+	}
+	a := make([]int, p.Threads)
+	per := (p.Threads + nodes - 1) / nodes
+	for i := range a {
+		a[i] = i / per
+		if a[i] >= nodes {
+			a[i] = nodes - 1
+		}
+	}
+	return a
+}
+
+// Characteristics describes a benchmark for Table I.
+type Characteristics struct {
+	Name        string
+	DataSet     string
+	Rounds      int
+	Granularity string
+	ObjectSize  string
+}
+
+// Workload is a benchmark that can be launched on a kernel. Launch spawns
+// the worker threads; the caller then drives k.Run() to completion.
+type Workload interface {
+	Name() string
+	Characteristics() Characteristics
+	Launch(k *gos.Kernel, p Params)
+}
+
+// barrierParties is the convention that every workload barrier includes all
+// worker threads.
+func barrierParties(p Params) int { return p.Threads }

@@ -1,0 +1,150 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between adjacent seeds", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Derive(1)
+	b := parent.Derive(2)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("derived streams collide immediately")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 negative")
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(5)
+	n := 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("variance = %v", variance)
+	}
+}
+
+// Property: Perm returns a valid permutation.
+func TestQuickPermValid(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%50) + 1
+		p := New(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(13)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatal("shuffle lost elements")
+	}
+}
+
+func TestZipfRanksInRange(t *testing.T) {
+	r := New(17)
+	z := NewZipf(r, 1.2, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		k := z.Rank()
+		if k < 0 || k >= 100 {
+			t.Fatalf("rank out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Head must be hotter than tail.
+	head := counts[0] + counts[1] + counts[2]
+	tail := counts[97] + counts[98] + counts[99]
+	if head <= tail {
+		t.Fatalf("zipf not skewed: head %d tail %d", head, tail)
+	}
+}

@@ -1,0 +1,393 @@
+// Package jessica2 is a library-level reproduction of the profiling system
+// from "Adaptive Sampling-Based Profiling Techniques for Optimizing the
+// Distributed JVM Runtime" (Lam, Luo, Wang — IPDPS 2010), built on a
+// deterministic discrete-event simulation of the JESSICA2 distributed JVM.
+//
+// The library provides:
+//
+//   - a simulated cluster running a home-based lazy release consistency
+//     (HLRC) global object space with object faulting, diff propagation,
+//     distributed locks and barriers;
+//   - fine-grained active correlation tracking via adaptive object
+//     sampling, producing thread correlation maps (TCMs);
+//   - sticky-set profiling via adaptive stack sampling (stack-invariant
+//     mining) plus footprinting and resolution, feeding a migration cost
+//     model;
+//   - a thread migration engine and a correlation-driven global load
+//     balancer;
+//   - the paper's three SPLASH-2 workload ports (SOR, Barnes-Hut,
+//     Water-Spatial) and synthetic workloads;
+//   - experiment harnesses regenerating every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	sys := jessica2.New(jessica2.DefaultConfig())
+//	sys.Launch(jessica2.NewSOR(), jessica2.Params{Threads: 8, Seed: 1})
+//	sys.AttachProfiling(jessica2.ProfileConfig{Rate: jessica2.FullRate})
+//	rep := sys.Run()
+//	fmt.Println(rep)
+package jessica2
+
+import (
+	"fmt"
+	"strings"
+
+	"jessica2/internal/balancer"
+	"jessica2/internal/core"
+	"jessica2/internal/gos"
+	"jessica2/internal/heap"
+	"jessica2/internal/migration"
+	"jessica2/internal/network"
+	"jessica2/internal/sampling"
+	"jessica2/internal/sim"
+	"jessica2/internal/stack"
+	"jessica2/internal/sticky"
+	"jessica2/internal/tcm"
+	"jessica2/internal/workload"
+)
+
+// --- re-exported core vocabulary --------------------------------------------
+
+// Time is virtual simulation time in nanoseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// TrackingMode selects how object accesses are logged for correlation.
+type TrackingMode = gos.TrackingMode
+
+// Tracking modes.
+const (
+	TrackingOff     = gos.TrackingOff
+	TrackingSampled = gos.TrackingSampled
+	TrackingExact   = gos.TrackingExact
+)
+
+// Rate is the paper's nX page-relative sampling-rate notation.
+type Rate = sampling.Rate
+
+// FullRate samples every object.
+const FullRate = sampling.FullRate
+
+// Thread is a distributed-JVM thread handle, passed to workload bodies.
+type Thread = gos.Thread
+
+// Kernel is the distributed JVM instance.
+type Kernel = gos.Kernel
+
+// Class is a registered shared-object class.
+type Class = heap.Class
+
+// Object is a shared object in the global object space.
+type Object = heap.Object
+
+// Registry is the class/object registry of a kernel (Kernel.Reg).
+type Registry = heap.Registry
+
+// Method names a Java method for shadow stack frames.
+type Method = stack.Method
+
+// Characteristics describes a workload (Table I metadata).
+type Characteristics = workload.Characteristics
+
+// Workload is a benchmark runnable on the DJVM.
+type Workload = workload.Workload
+
+// Params configures a workload launch.
+type Params = workload.Params
+
+// TCM is the thread correlation map.
+type TCM = tcm.Map
+
+// Footprint is a per-class sticky-set byte composition.
+type Footprint = sticky.Footprint
+
+// InvariantRef is a mined stack-invariant reference.
+type InvariantRef = stack.InvariantRef
+
+// Resolution is a resolved sticky set ready to prefetch.
+type Resolution = sticky.Resolution
+
+// Assignment maps thread ids to node ids.
+type Assignment = balancer.Assignment
+
+// ProfileConfig selects profiling subsystems (see package core).
+type ProfileConfig = core.Config
+
+// StackConfig configures the stack profiler.
+type StackConfig = core.StackConfig
+
+// AdaptiveConfig configures the adaptive rate controller.
+type AdaptiveConfig = core.AdaptiveConfig
+
+// FootprintConfig configures sticky-set footprinting.
+type FootprintConfig = core.FootprintConfig
+
+// MigrationOutcome reports one thread migration.
+type MigrationOutcome = migration.Outcome
+
+// Workload types (paper benchmarks and synthetics).
+type (
+	// SOR is the red-black successive over-relaxation kernel.
+	SOR = workload.SOR
+	// BarnesHut is the hierarchical N-body simulation.
+	BarnesHut = workload.BarnesHut
+	// WaterSpatial is the molecular dynamics application.
+	WaterSpatial = workload.WaterSpatial
+	// Synthetic is the configurable microbenchmark.
+	Synthetic = workload.Synthetic
+)
+
+// Workload constructors (paper-scale defaults).
+var (
+	NewSOR          = workload.NewSOR
+	NewSORSmall     = workload.NewSORSmall
+	NewBarnesHut    = workload.NewBarnesHut
+	NewWaterSpatial = workload.NewWaterSpatial
+	NewSynthetic    = workload.NewSynthetic
+)
+
+// Profiling config helpers.
+var (
+	DefaultStackConfig    = core.DefaultStackConfig
+	DefaultAdaptiveConfig = core.DefaultAdaptiveConfig
+	DefaultResolverConfig = sticky.DefaultResolverConfig
+	DefaultFootprinter    = sticky.DefaultFootprinterConfig
+)
+
+// Distance metrics (paper equations 1 and 2) and accuracy.
+var (
+	DistanceEUC = tcm.DistanceEUC
+	DistanceABS = tcm.DistanceABS
+	Accuracy    = tcm.Accuracy
+)
+
+// --- system facade -----------------------------------------------------------
+
+// Config assembles a DJVM instance.
+type Config struct {
+	// Nodes is the cluster size (node 0 is the master JVM).
+	Nodes int
+	// Tracking selects the correlation-tracking mode.
+	Tracking TrackingMode
+	// TransferOALs ships OALs to the master (disable to isolate
+	// collection CPU cost as in Table II).
+	TransferOALs bool
+	// DistributedTCM enables the paper's §VI scalability extension:
+	// workers pre-reduce their OALs into per-object summaries.
+	DistributedTCM bool
+	// Network overrides the interconnect model (zero value = defaults).
+	Network network.Config
+	// Costs overrides the CPU cost model (zero value = defaults).
+	Costs gos.CostModel
+}
+
+// DefaultConfig mirrors the paper's 8-node Fast Ethernet testbed with
+// sampled correlation tracking enabled.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        8,
+		Tracking:     TrackingSampled,
+		TransferOALs: true,
+	}
+}
+
+// System is one simulated distributed JVM with optional profiling.
+type System struct {
+	k        *gos.Kernel
+	profiler *core.Profiler
+	loads    []Workload
+	ran      bool
+	execTime Time
+}
+
+// New builds a system from the config.
+func New(cfg Config) *System {
+	kcfg := gos.DefaultConfig()
+	if cfg.Nodes > 0 {
+		kcfg.Nodes = cfg.Nodes
+	}
+	kcfg.Tracking = cfg.Tracking
+	kcfg.TransferOALs = cfg.TransferOALs
+	kcfg.DistributedTCM = cfg.DistributedTCM
+	if cfg.Network.BandwidthBytesPerSec > 0 {
+		kcfg.Net = cfg.Network
+	}
+	if cfg.Costs.CheckCost > 0 {
+		kcfg.Costs = cfg.Costs
+	}
+	return &System{k: gos.NewKernel(kcfg)}
+}
+
+// Kernel exposes the underlying DJVM (advanced use: allocation, custom
+// threads, migration).
+func (s *System) Kernel() *Kernel { return s.k }
+
+// Launch registers a workload's classes and spawns its threads.
+func (s *System) Launch(w Workload, p Params) *System {
+	if s.ran {
+		panic("jessica2: Launch after Run")
+	}
+	w.Launch(s.k, p)
+	s.loads = append(s.loads, w)
+	return s
+}
+
+// AttachProfiling wires the profiling subsystems. Call after Launch.
+func (s *System) AttachProfiling(cfg ProfileConfig) *Profiler {
+	if s.ran {
+		panic("jessica2: AttachProfiling after Run")
+	}
+	s.profiler = core.Attach(s.k, cfg)
+	return &Profiler{p: s.profiler}
+}
+
+// Run executes the simulation to completion and returns the report.
+func (s *System) Run() *Report {
+	if s.ran {
+		panic("jessica2: Run called twice")
+	}
+	s.ran = true
+	s.execTime = s.k.Run()
+	s.k.FlushAllOAL()
+	return s.Report()
+}
+
+// Report summarizes the finished run.
+func (s *System) Report() *Report {
+	return &Report{sys: s}
+}
+
+// Profiler wraps the attached profiling subsystem.
+type Profiler struct {
+	p *core.Profiler
+}
+
+// Invariants returns the mined stack-invariant references for a thread.
+func (p *Profiler) Invariants(tid int) []InvariantRef { return p.p.Invariants(tid) }
+
+// Footprint returns a thread's sticky-set footprint estimate.
+func (p *Profiler) Footprint(tid int) Footprint { return p.p.Footprint(tid) }
+
+// Resolve computes a thread's sticky set for prefetching.
+func (p *Profiler) Resolve(tid int) *Resolution { return p.p.Resolve(tid) }
+
+// RateTrace returns the adaptive controller's decision log.
+func (p *Profiler) RateTrace() []core.RateChange { return p.p.RateTrace }
+
+// StackCPU returns total virtual CPU charged to stack sampling.
+func (p *Profiler) StackCPU() Time { return p.p.StackCPU }
+
+// Core exposes the underlying core profiler for advanced use.
+func (p *Profiler) Core() *core.Profiler { return p.p }
+
+// Report gives access to run results.
+type Report struct {
+	sys *System
+}
+
+// ExecTime is the workload execution time (paper tables' metric).
+func (r *Report) ExecTime() Time { return r.sys.execTime }
+
+// TCM builds the thread correlation map from all collected OALs.
+func (r *Report) TCM() *TCM {
+	m, _ := r.sys.k.TCM()
+	return m
+}
+
+// KernelStats returns protocol/profiling counters.
+func (r *Report) KernelStats() gos.KernelStats { return r.sys.k.Stats() }
+
+// NetworkStats returns per-category traffic stats.
+func (r *Report) NetworkStats() network.Stats { return r.sys.k.Net.Stats() }
+
+// OALBytes is profiling traffic volume.
+func (r *Report) OALBytes() int64 {
+	st := r.sys.k.Net.Stats()
+	return st.CatBytes(network.CatOAL)
+}
+
+// GOSBytes is protocol traffic volume (data + control + headers).
+func (r *Report) GOSBytes() int64 {
+	st := r.sys.k.Net.Stats()
+	return st.CatBytes(network.CatGOSData) + st.CatBytes(network.CatControl) + st.HeaderBytesTotal
+}
+
+// TCMComputeTime is the master analyzer's CPU (dedicated machine).
+func (r *Report) TCMComputeTime() Time { return r.sys.k.Master().ComputeTime() }
+
+// HomeAffinity exports the thread×node shared-volume matrix (the "home
+// effect" input for home-aware placement planning).
+func (r *Report) HomeAffinity() [][]float64 {
+	k := r.sys.k
+	return k.Master().HomeAffinity(len(k.Threads()), k.NumNodes())
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	st := r.KernelStats()
+	names := make([]string, 0, len(r.sys.loads))
+	for _, w := range r.sys.loads {
+		names = append(names, w.Name())
+	}
+	fmt.Fprintf(&sb, "workloads:         %s\n", strings.Join(names, ", "))
+	fmt.Fprintf(&sb, "execution time:    %v\n", r.ExecTime())
+	fmt.Fprintf(&sb, "intervals:         %d\n", st.Intervals)
+	fmt.Fprintf(&sb, "remote faults:     %d (%d KB)\n", st.Faults, st.FaultBytes/1024)
+	fmt.Fprintf(&sb, "correlation logs:  %d\n", st.CorrelationLogs)
+	fmt.Fprintf(&sb, "barriers/locks:    %d / %d\n", st.Barriers, st.LockAcquires)
+	fmt.Fprintf(&sb, "OAL traffic:       %d KB\n", r.OALBytes()/1024)
+	fmt.Fprintf(&sb, "GOS traffic:       %d KB\n", r.GOSBytes()/1024)
+	fmt.Fprintf(&sb, "TCM compute time:  %v\n", r.TCMComputeTime())
+	return sb.String()
+}
+
+// --- balancing & migration helpers ------------------------------------------
+
+// PlanPlacement computes an improved thread placement from a TCM.
+func PlanPlacement(m *TCM, current Assignment, nodes int) (Assignment, []balancer.Move) {
+	return balancer.Plan(m, current, balancer.DefaultConfig(nodes))
+}
+
+// PlanPlacementHomeAware additionally weighs each thread's affinity to the
+// nodes homing its data (the paper's §VI "home effect"); homeAffinity
+// comes from Report.HomeAffinity.
+func PlanPlacementHomeAware(m *TCM, current Assignment, nodes int, homeAffinity [][]float64, homeWeight float64) (Assignment, []balancer.Move) {
+	cfg := balancer.DefaultConfig(nodes)
+	cfg.HomeAffinity = homeAffinity
+	cfg.HomeWeight = homeWeight
+	return balancer.Plan(m, current, cfg)
+}
+
+// HomeMove is one executed or advised object home migration.
+type HomeMove = gos.HomeMove
+
+// AdviseHomeMigrations recommends object re-homings from the collected
+// correlation state: objects whose accessors all run on one node, homed
+// elsewhere, should move there.
+func (r *Report) AdviseHomeMigrations(assignment Assignment, minBytes int) []HomeMove {
+	k := r.sys.k
+	return k.AdviseHomes(k.Master().Summary(), assignment, minBytes)
+}
+
+// CrossVolume is the correlation volume split across nodes by a placement.
+var CrossVolume = balancer.CrossVolume
+
+// LocalVolume is the collocated correlation volume of a placement.
+var LocalVolume = balancer.LocalVolume
+
+// BlockedPlacement is the spawn-order default placement.
+var BlockedPlacement = balancer.Blocked
+
+// NewMigrationEngine builds a migration engine over a system's kernel.
+func NewMigrationEngine(s *System) *migration.Engine {
+	return migration.NewEngine(s.k, migration.DefaultConfig())
+}

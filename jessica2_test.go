@@ -1,0 +1,154 @@
+package jessica2_test
+
+import (
+	"strings"
+	"testing"
+
+	"jessica2"
+)
+
+func quickSOR() *jessica2.SOR {
+	s := jessica2.NewSOR()
+	s.RowsN, s.Cols, s.Iters = 128, 128, 2
+	return s
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := jessica2.New(jessica2.DefaultConfig())
+	sys.Launch(quickSOR(), jessica2.Params{Threads: 8, Seed: 1})
+	sys.AttachProfiling(jessica2.ProfileConfig{Rate: jessica2.FullRate})
+	rep := sys.Run()
+	if rep.ExecTime() <= 0 {
+		t.Fatal("no execution time")
+	}
+	m := rep.TCM()
+	if m.N() != 8 || m.Total() == 0 {
+		t.Fatal("TCM missing or empty")
+	}
+	if rep.OALBytes() <= 0 || rep.GOSBytes() <= 0 {
+		t.Fatal("traffic accounting missing")
+	}
+	if !strings.Contains(rep.String(), "execution time") {
+		t.Fatal("report rendering broken")
+	}
+}
+
+func TestSystemLifecyclePanics(t *testing.T) {
+	sys := jessica2.New(jessica2.DefaultConfig())
+	sys.Launch(quickSOR(), jessica2.Params{Threads: 4, Seed: 1})
+	sys.Run()
+	for name, f := range map[string]func(){
+		"Launch":   func() { sys.Launch(quickSOR(), jessica2.Params{Threads: 2}) },
+		"Attach":   func() { sys.AttachProfiling(jessica2.ProfileConfig{}) },
+		"RunTwice": func() { sys.Run() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after Run did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlacementPlanningAPI(t *testing.T) {
+	cfg := jessica2.DefaultConfig()
+	cfg.Nodes = 4
+	sys := jessica2.New(cfg)
+	syn := jessica2.NewSynthetic()
+	syn.Intervals = 4
+	sys.Launch(syn, jessica2.Params{Threads: 8, Seed: 2})
+	sys.AttachProfiling(jessica2.ProfileConfig{Rate: jessica2.FullRate})
+	rep := sys.Run()
+	m := rep.TCM()
+	cur := jessica2.BlockedPlacement(8, 4)
+	next, _ := jessica2.PlanPlacement(m, cur, 4)
+	if jessica2.CrossVolume(m, next) > jessica2.CrossVolume(m, cur) {
+		t.Fatal("plan worsened placement")
+	}
+}
+
+func TestDistanceHelpers(t *testing.T) {
+	sys := jessica2.New(jessica2.DefaultConfig())
+	sys.Launch(quickSOR(), jessica2.Params{Threads: 4, Seed: 3})
+	sys.AttachProfiling(jessica2.ProfileConfig{Rate: jessica2.FullRate})
+	m := sys.Run().TCM()
+	if jessica2.DistanceABS(m, m) != 0 || jessica2.DistanceEUC(m, m) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	if jessica2.Accuracy(0.03) != 0.97 {
+		t.Fatal("accuracy helper wrong")
+	}
+}
+
+func TestCustomWorkloadViaPublicAPI(t *testing.T) {
+	sys := jessica2.New(jessica2.DefaultConfig())
+	w := &chainWorkload{records: 64, rounds: 3}
+	sys.Launch(w, jessica2.Params{Threads: 2, Seed: 4})
+	sys.AttachProfiling(jessica2.ProfileConfig{Rate: jessica2.FullRate})
+	rep := sys.Run()
+	if rep.KernelStats().Intervals == 0 {
+		t.Fatal("custom workload produced no intervals")
+	}
+}
+
+// chainWorkload is a minimal user-defined workload exercising allocation,
+// stack frames, locks and barriers through the public aliases.
+type chainWorkload struct {
+	records, rounds int
+}
+
+func (w *chainWorkload) Name() string { return "chain" }
+
+func (w *chainWorkload) Characteristics() jessica2.Characteristics {
+	return jessica2.Characteristics{Name: "chain", DataSet: "tiny", Rounds: w.rounds,
+		Granularity: "Fine", ObjectSize: "64 bytes"}
+}
+
+func (w *chainWorkload) Launch(k *jessica2.Kernel, p jessica2.Params) {
+	cls := k.Reg.DefineClass("Chain", 64, 1)
+	m := &jessica2.Method{Name: "chain.run"}
+	shared := make([]*jessica2.Object, 0, w.records)
+	for tid := 0; tid < p.Threads; tid++ {
+		tid := tid
+		k.SpawnThread(tid%k.NumNodes(), "chain", func(t *jessica2.Thread) {
+			f := t.Stack.Push(m, 1)
+			if tid == 0 {
+				for i := 0; i < w.records; i++ {
+					o := t.Alloc(cls)
+					t.Write(o)
+					shared = append(shared, o)
+				}
+				f.SetRef(0, shared[0])
+			}
+			t.Barrier(0, p.Threads)
+			for r := 0; r < w.rounds; r++ {
+				t.Acquire(9)
+				for _, o := range shared {
+					t.Read(o)
+				}
+				t.Release(9)
+				t.Barrier(0, p.Threads)
+			}
+			t.Stack.Pop()
+		})
+	}
+}
+
+func TestMigrationEngineAPI(t *testing.T) {
+	sys := jessica2.New(jessica2.DefaultConfig())
+	eng := jessica2.NewMigrationEngine(sys)
+	cls := sys.Kernel().Reg.DefineClass("Obj", 64, 0)
+	var out jessica2.MigrationOutcome
+	sys.Kernel().SpawnThread(0, "m", func(t *jessica2.Thread) {
+		o := t.Alloc(cls)
+		t.Write(o)
+		out = eng.MigrateSelf(t, 1, nil)
+	})
+	sys.Run()
+	if out.From != 0 || out.To != 1 || out.ContextBytes <= 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
