@@ -1,0 +1,27 @@
+# BENCH is the djvmbench JSON artifact path; override per PR:
+#   make bench BENCH=BENCH_2.json
+BENCH ?= BENCH_current.json
+# SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
+SCALE ?= 8
+
+.PHONY: verify build vet test bench clean
+
+verify: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# bench runs the Go benchmarks (allocs/op is the regression metric; see
+# EXPERIMENTS.md) and writes the machine-readable djvmbench report.
+bench:
+	go test -bench=. -benchmem -run '^$$' ./...
+	go run ./cmd/djvmbench -benchjson $(BENCH) -scale $(SCALE)
+
+clean:
+	rm -f BENCH_current.json

@@ -3,34 +3,108 @@
 //
 // Usage:
 //
-//	djvmbench -all                 # every table and figure, paper scale
-//	djvmbench -table 2 -scale 4    # one table at 1/4 dataset scale
-//	djvmbench -fig 9 -csv          # figure 9 as CSV series
+//	djvmbench -all                    # every table and figure, paper scale
+//	djvmbench -table 2 -scale 4       # one table at 1/4 dataset scale
+//	djvmbench -fig 9 -csv             # figure 9 as CSV series
+//	djvmbench -benchjson BENCH_current.json # machine-readable perf report
 //
 // Paper scale (-scale 1) reproduces the exact datasets (SOR 2K×2K,
 // Barnes-Hut 4K bodies, Water-Spatial 512 molecules); larger -scale values
 // shrink datasets proportionally for quick runs.
+//
+// -benchjson measures every table/figure regeneration with the testing
+// package's benchmark driver and writes ns/op, bytes/op and allocs/op per
+// experiment as a single-run JSON report. A PR claiming a perf delta
+// combines two such runs under "baseline"/"optimized" keys in its committed
+// BENCH_<pr>.json artifact (see EXPERIMENTS.md and BENCH_1.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 	"time"
 
 	"jessica2/internal/experiments"
 )
 
+// benchResult is one experiment's measurement in the -benchjson report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the top-level -benchjson document.
+type benchReport struct {
+	Scale      int           `json:"scale"`
+	GoVersion  string        `json:"go_version"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// writeBenchJSON benchmarks every table and figure at the given scale and
+// writes the report to path.
+func writeBenchJSON(path string, sc experiments.Scale) error {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Table1", func() { experiments.Table1(sc) }},
+		{"Table2", func() { experiments.Table2(sc) }},
+		{"Table3", func() { experiments.Table3(sc) }},
+		{"Table4", func() { experiments.Table4(sc) }},
+		{"Table5", func() { experiments.Table5(sc) }},
+		{"Fig9", func() { experiments.Fig9(sc) }},
+		{"Fig1", func() { experiments.Fig1(sc) }},
+	}
+	report := benchReport{Scale: int(sc), GoVersion: runtime.Version()}
+	for _, c := range cases {
+		fmt.Printf("benchmarking %s (scale 1/%d)...\n", c.name, int(sc))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.fn()
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, benchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		table = flag.Int("table", 0, "regenerate table N (1-5)")
-		fig   = flag.Int("fig", 0, "regenerate figure N (1 or 9)")
-		all   = flag.Bool("all", false, "regenerate everything")
-		scale = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		table     = flag.Int("table", 0, "regenerate table N (1-5)")
+		fig       = flag.Int("fig", 0, "regenerate figure N (1 or 9)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		scale     = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		benchjson = flag.String("benchjson", "", "benchmark every table/figure and write JSON perf report to this file")
 	)
 	flag.Parse()
 	sc := experiments.Scale(*scale)
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "djvmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *benchjson)
+		return
+	}
 	if !*all && *table == 0 && *fig == 0 {
 		flag.Usage()
 		os.Exit(2)

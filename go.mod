@@ -1,0 +1,3 @@
+module jessica2
+
+go 1.24

@@ -14,6 +14,7 @@ import (
 
 	"jessica2/internal/heap"
 	"jessica2/internal/network"
+	"jessica2/internal/oal"
 	"jessica2/internal/sim"
 	"jessica2/internal/tcm"
 )
@@ -165,12 +166,41 @@ type Kernel struct {
 	barriers map[int]*barrierState
 
 	// versions is the home-side version number per object (write notices
-	// are modelled as version advances checked at sync epochs).
-	versions map[heap.ObjectID]int64
+	// are modelled as version advances checked at sync epochs), indexed by
+	// ObjectID-1 — ObjectIDs are dense arena indexes, so the hot-path
+	// version check is an array load instead of a map probe.
+	versions []int64
 
 	observers []AccessObserver
 
+	// recPool recycles OAL records between intervals: a record created at
+	// interval open travels through the node buffer and the master's
+	// ingestion, after which it (and its Entries capacity) returns here
+	// instead of becoming garbage. The simulation is single-threaded under
+	// the scheduler, so no locking is needed.
+	recPool []*oal.Record
+
 	stats KernelStats
+}
+
+// newRecord returns a zeroed OAL record, reusing a recycled one if possible.
+func (k *Kernel) newRecord() *oal.Record {
+	if n := len(k.recPool); n > 0 {
+		r := k.recPool[n-1]
+		k.recPool = k.recPool[:n-1]
+		return r
+	}
+	return &oal.Record{}
+}
+
+// recycleRecord returns a fully consumed record to the pool. The caller must
+// not touch r afterwards.
+func (k *Kernel) recycleRecord(r *oal.Record) {
+	if r == nil {
+		return
+	}
+	r.Reset()
+	k.recPool = append(k.recPool, r)
 }
 
 // KernelStats aggregates protocol and profiling counters across the run.
@@ -212,7 +242,6 @@ func NewKernel(cfg Config) *Kernel {
 		Cfg:      cfg,
 		locks:    make(map[int]*lockState),
 		barriers: make(map[int]*barrierState),
-		versions: make(map[heap.ObjectID]int64),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := newNode(k, i)
@@ -244,10 +273,41 @@ func (k *Kernel) AddObserver(obs AccessObserver) {
 }
 
 // Version returns the home version of an object.
-func (k *Kernel) Version(id heap.ObjectID) int64 { return k.versions[id] }
+func (k *Kernel) Version(id heap.ObjectID) int64 { return k.version(id) }
+
+// version reads the home version without growing the table (objects never
+// written stay at version 0).
+func (k *Kernel) version(id heap.ObjectID) int64 {
+	idx := int64(id) - 1
+	if idx < 0 || idx >= int64(len(k.versions)) {
+		return 0
+	}
+	return k.versions[idx]
+}
 
 // bumpVersion applies one committed update at the home.
-func (k *Kernel) bumpVersion(id heap.ObjectID) { k.versions[id]++ }
+func (k *Kernel) bumpVersion(id heap.ObjectID) {
+	idx := int64(id) - 1
+	if idx < 0 {
+		panic("gos: bumpVersion on invalid object id")
+	}
+	k.versions = growTo(k.versions, int(idx))
+	k.versions[idx]++
+}
+
+// growTo returns s extended (geometrically) so that index idx is valid.
+func growTo[T any](s []T, idx int) []T {
+	if idx < len(s) {
+		return s
+	}
+	newLen := 2 * len(s)
+	if newLen <= idx {
+		newLen = idx + 1
+	}
+	grown := make([]T, newLen)
+	copy(grown, s)
+	return grown
+}
 
 // Run executes the simulation to completion and returns the workload
 // execution time (daemon wind-down after the last thread finishes is

@@ -41,12 +41,12 @@ func (k *Kernel) MigrateHome(o *heap.Object, newHome int) HomeMove {
 		network.CatGOSData, o.Bytes(), &protoMsg{kind: msgDiff})
 	// Old home's replica becomes a plain cache copy at the current version.
 	old := k.nodes[o.Home].copyOf(o)
-	old.version = k.versions[o.ID]
+	old.version = k.version(o.ID)
 	// New home's replica is authoritative.
 	o.Home = newHome
 	nh := k.nodes[newHome].copyOf(o)
 	nh.valid = true
-	nh.version = k.versions[o.ID]
+	nh.version = k.version(o.ID)
 	nh.checkedEpoch = k.nodes[newHome].epoch
 	k.stats.HomeMigrations++
 	return mv

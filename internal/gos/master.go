@@ -81,7 +81,9 @@ func (m *Master) IngestPayload(p *oalPayload) {
 }
 
 // IngestLocal consumes one record without any network path (used when OAL
-// transfer is disabled but accuracy studies still need the data).
+// transfer is disabled but accuracy studies still need the data). Ownership
+// of the record transfers to the kernel: it is recycled into the record pool
+// after ingestion and must not be used by the caller afterwards.
 func (m *Master) IngestLocal(r *oal.Record) {
 	bl := m.ensureBuilder()
 	bl.IngestRecord(r)
@@ -91,6 +93,7 @@ func (m *Master) IngestLocal(r *oal.Record) {
 	for _, e := range r.Entries {
 		m.accrueHome(r.Thread, e.Obj, float64(e.Bytes))
 	}
+	m.k.recycleRecord(r)
 }
 
 // accrueHome adds one logged access into the thread×home matrix.

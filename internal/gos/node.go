@@ -1,8 +1,6 @@
 package gos
 
 import (
-	"sort"
-
 	"jessica2/internal/heap"
 	"jessica2/internal/network"
 	"jessica2/internal/oal"
@@ -29,7 +27,16 @@ type Node struct {
 	id  int
 	cpu *sim.Resource
 
-	copies map[heap.ObjectID]*copyState
+	// copies is the node's replica-header table, indexed by ObjectID-1
+	// (ObjectIDs are dense arena indexes), so the per-access lookup is an
+	// array index rather than a map probe. Slots are nil until the node
+	// first touches the object.
+	copies    []*copyState
+	numCopies int
+	// copyArena bulk-allocates copyState headers in chunks; pointers into a
+	// chunk stay valid for the node's lifetime.
+	copyArena *copyChunk
+	copyUsed  int
 	// epoch advances at every synchronization point observed by the node
 	// (lock acquire, barrier release); cached copies are re-validated
 	// against home versions lazily when first touched in a new epoch.
@@ -39,27 +46,25 @@ type Node struct {
 	oalBuf        []*oal.Record
 	oalBufEntries int
 
-	// waiters for in-flight remote operations keyed by a token.
-	pending map[int64]*pendingOp
+	// pending maps in-flight remote-operation tokens to the blocked thread.
+	pending map[int64]*Thread
 	nextTok int64
 
 	// Stats
 	localHits int64
 }
 
-type pendingOp struct {
-	thread *Thread
-	done   bool
-	reply  interface{}
-}
+// copyChunkLen is the copyState arena chunk size.
+const copyChunkLen = 512
+
+type copyChunk [copyChunkLen]copyState
 
 func newNode(k *Kernel, id int) *Node {
 	return &Node{
 		k:       k,
 		id:      id,
 		cpu:     sim.NewResource(k.Eng, nodeName(id)+".cpu"),
-		copies:  make(map[heap.ObjectID]*copyState),
-		pending: make(map[int64]*pendingOp),
+		pending: make(map[int64]*Thread),
 	}
 }
 
@@ -76,35 +81,58 @@ func (n *Node) CPU() *sim.Resource { return n.cpu }
 // Epoch returns the node's current synchronization epoch.
 func (n *Node) Epoch() int64 { return n.epoch }
 
+// copyAt returns the node's replica header for the object id, or nil if the
+// node has never touched it.
+func (n *Node) copyAt(id heap.ObjectID) *copyState {
+	idx := int64(id) - 1
+	if idx < 0 || idx >= int64(len(n.copies)) {
+		return nil
+	}
+	return n.copies[idx]
+}
+
 // copyOf returns (creating if needed) the node's replica header for o.
 // Home-node copies are created valid; remote copies start invalid.
 func (n *Node) copyOf(o *heap.Object) *copyState {
-	c := n.copies[o.ID]
+	idx := int64(o.ID) - 1
+	n.copies = growTo(n.copies, int(idx))
+	c := n.copies[idx]
 	if c == nil {
-		c = &copyState{obj: o}
+		if n.copyArena == nil || n.copyUsed == copyChunkLen {
+			n.copyArena = new(copyChunk)
+			n.copyUsed = 0
+		}
+		c = &n.copyArena[n.copyUsed]
+		n.copyUsed++
+		c.obj = o
 		if o.Home == n.id {
 			c.valid = true
 		}
-		n.copies[o.ID] = c
+		n.copies[idx] = c
+		n.numCopies++
 	}
 	return c
 }
 
 // cachedObjectsOfClass returns the node's cached objects of a class sorted
-// by id — the set a resample change-notice must iterate.
+// by id — the set a resample change-notice must iterate. The copy table is
+// indexed in ID order, so the result is sorted by construction.
 func (n *Node) cachedObjectsOfClass(class *heap.Class) []*copyState {
-	var out []*copyState
+	capHint := n.k.Reg.NumObjectsOfClass(class)
+	if capHint > n.numCopies {
+		capHint = n.numCopies
+	}
+	out := make([]*copyState, 0, capHint)
 	for _, c := range n.copies {
-		if c.obj.Class == class {
+		if c != nil && c.obj.Class == class {
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].obj.ID < out[j].obj.ID })
 	return out
 }
 
 // NumCopies reports how many replica headers the node holds.
-func (n *Node) NumCopies() int { return len(n.copies) }
+func (n *Node) NumCopies() int { return n.numCopies }
 
 // --- message protocol ------------------------------------------------------
 
@@ -127,13 +155,12 @@ type protoMsg struct {
 	kind    msgKind
 	tok     int64
 	obj     heap.ObjectID
-	objs    []heap.ObjectID // diff batch
 	lock    int
 	bar     int
 	parties int
 	oal     *oal.Batch
 	sum     *tcm.Summary // distributed-TCM summary payload
-	data    interface{}
+	data    any
 }
 
 // handleMessage is the node's network handler; it runs in scheduler context.
@@ -145,12 +172,12 @@ func (n *Node) handleMessage(m *network.Message) {
 		// delay folded into the reply latency, then reply with the data.
 		o := n.k.Reg.MustObject(pm.obj)
 		reply := &protoMsg{kind: msgFetchReply, tok: pm.tok, obj: o.ID,
-			data: n.k.versions[o.ID]}
+			data: n.k.version(o.ID)}
 		n.k.Eng.After(n.k.Cfg.Costs.HomeServiceCost, func() {
 			n.k.Net.Send(network.NodeID(n.id), m.From, network.CatGOSData, o.Bytes(), reply)
 		})
 	case msgFetchReply:
-		n.completePending(pm.tok, pm.data)
+		n.completePending(pm.tok)
 	case msgDiff:
 		// Versions were advanced synchronously at interval close (the
 		// version table is the simulation's ground truth); this message
@@ -161,13 +188,13 @@ func (n *Node) handleMessage(m *network.Message) {
 	case msgLockReq:
 		n.k.lockRequest(pm.lock, m.From, pm.tok, pm.payload())
 	case msgLockGrant:
-		n.completePending(pm.tok, nil)
+		n.completePending(pm.tok)
 	case msgLockRelease:
 		n.k.lockRelease(pm.lock)
 	case msgBarrierArrive:
 		n.k.barrierArrive(pm.bar, m.From, pm.tok, pm.payload(), pm.parties)
 	case msgBarrierRelease:
-		n.completePending(pm.tok, nil)
+		n.completePending(pm.tok)
 	case msgMigrateIn:
 		if fn, ok := pm.data.(func()); ok {
 			fn()
@@ -179,20 +206,20 @@ func (n *Node) handleMessage(m *network.Message) {
 func (n *Node) newToken(t *Thread) int64 {
 	n.nextTok++
 	tok := n.nextTok
-	n.pending[tok] = &pendingOp{thread: t}
+	n.pending[tok] = t
 	return tok
 }
 
-// completePending wakes the thread blocked on tok.
-func (n *Node) completePending(tok int64, reply interface{}) {
-	op := n.pending[tok]
-	if op == nil {
+// completePending wakes the thread blocked on tok. Protocol replies carry no
+// data the simulation needs beyond the wake itself (the version table is the
+// global ground truth), so there is no reply value to hand over.
+func (n *Node) completePending(tok int64) {
+	t := n.pending[tok]
+	if t == nil {
 		panic("gos: unknown pending token")
 	}
 	delete(n.pending, tok)
-	op.done = true
-	op.reply = reply
-	op.thread.proc.Wake()
+	t.proc.Wake()
 }
 
 // advanceEpoch marks a synchronization point: cached copies will be lazily
@@ -203,7 +230,11 @@ func (n *Node) advanceEpoch() { n.epoch++ }
 // the threshold is reached. Returns parts to piggyback instead when the
 // caller is about to send to the master anyway.
 func (n *Node) bufferOAL(r *oal.Record) {
-	if r == nil || len(r.Entries) == 0 {
+	if r == nil {
+		return
+	}
+	if len(r.Entries) == 0 {
+		n.k.recycleRecord(r)
 		return
 	}
 	n.oalBuf = append(n.oalBuf, r)
@@ -241,6 +272,7 @@ func (n *Node) drainOAL(t *Thread) *oalPayload {
 		for _, r := range recs {
 			bl.IngestRecord(r)
 			entries += len(r.Entries)
+			n.k.recycleRecord(r)
 		}
 		if t != nil {
 			t.Charge(sim.Time(entries) * n.k.Cfg.Costs.TCMReorgCostPerEntry)

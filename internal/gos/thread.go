@@ -26,6 +26,7 @@ type Thread struct {
 
 	interval     int64
 	intervalOpen bool
+	closing      bool // inside closeInterval (observer callbacks still see the interval's state)
 	pc           int64
 	startPC      int64
 
@@ -33,6 +34,11 @@ type Thread struct {
 	accessedOrder []heap.ObjectID
 	rec           *oal.Record
 	lastLogged    []heap.ObjectID
+
+	// diffBytes/diffHomes are interval-close scratch: per-home-node diff
+	// payload accumulation reused across intervals.
+	diffBytes []int
+	diffHomes []int
 
 	pendingCPU sim.Time
 	finished   bool
@@ -54,7 +60,13 @@ type ThreadStats struct {
 
 // accessInfo tracks one object within the current interval. It caches the
 // node's copy header so the per-access fast path costs one map lookup.
+// Entries persist in the thread's accessed map across intervals and are
+// revived in place when their interval stamp is stale, so the steady-state
+// access path allocates nothing.
 type accessInfo struct {
+	// interval stamps which interval the counters belong to; a stale stamp
+	// means the entry is logically absent from the current interval.
+	interval      int64
 	reads, writes int
 	writtenBytes  int
 	logged        bool
@@ -119,7 +131,7 @@ func (t *Thread) Finished() bool { return t.finished }
 
 // AccessedThisInterval reports reads/writes of o in the open interval.
 func (t *Thread) AccessedThisInterval(o *heap.Object) (reads, writes int) {
-	if ai := t.accessed[o.ID]; ai != nil {
+	if ai := t.accessed[o.ID]; ai != nil && ai.interval == t.interval && (t.intervalOpen || t.closing) {
 		return ai.reads, ai.writes
 	}
 	return 0, 0
@@ -156,12 +168,11 @@ func (t *Thread) openInterval() {
 	t.interval++
 	t.intervalOpen = true
 	t.startPC = t.pc
-	t.rec = &oal.Record{
-		Thread:   t.id,
-		Node:     t.node.id,
-		Interval: t.interval,
-		StartPC:  t.startPC,
-	}
+	t.rec = t.k.newRecord()
+	t.rec.Thread = t.id
+	t.rec.Node = t.node.id
+	t.rec.Interval = t.interval
+	t.rec.StartPC = t.startPC
 	t.k.stats.Intervals++
 	// Reset false-invalid on the objects this thread logged last interval
 	// ("reset to false-invalid state to enable tracking on them
@@ -170,7 +181,7 @@ func (t *Thread) openInterval() {
 	if t.k.Cfg.Tracking == TrackingSampled {
 		var resetCost sim.Time
 		for _, id := range t.lastLogged {
-			c := t.node.copies[id]
+			c := t.node.copyAt(id)
 			if c == nil {
 				continue // moved node; copies stay behind
 			}
@@ -193,16 +204,16 @@ func (t *Thread) closeInterval() {
 		return
 	}
 	t.intervalOpen = false
+	t.closing = true
 	cost := t.k.Cfg.Costs
 
 	// Propagate diffs of written non-home objects to their homes, batched
-	// per home node.
-	type diffBatch struct {
-		objs  []heap.ObjectID
-		bytes int
+	// per home node. The per-home byte accumulator is a reused per-thread
+	// scratch table so interval close allocates nothing at steady state.
+	if len(t.diffBytes) < t.k.NumNodes() {
+		t.diffBytes = make([]int, t.k.NumNodes())
 	}
-	diffs := make(map[int]*diffBatch)
-	var diffHomes []int
+	t.diffHomes = t.diffHomes[:0]
 	var diffCPU sim.Time
 	for _, id := range t.accessedOrder {
 		ai := t.accessed[id]
@@ -220,34 +231,31 @@ func (t *Thread) closeInterval() {
 		// below models the traffic and latency. The writer's own copy
 		// stays valid at the new version (it holds the data it wrote).
 		t.k.bumpVersion(id)
-		if c := t.node.copies[id]; c != nil && c.valid {
-			c.version = t.k.versions[id]
+		if c := t.node.copyAt(id); c != nil && c.valid {
+			c.version = t.k.version(id)
 		}
 		if o.Home == t.node.id {
 			continue
 		}
-		db := diffs[o.Home]
-		if db == nil {
-			db = &diffBatch{}
-			diffs[o.Home] = db
-			diffHomes = append(diffHomes, o.Home)
+		if t.diffBytes[o.Home] == 0 {
+			t.diffHomes = append(t.diffHomes, o.Home)
 		}
-		db.objs = append(db.objs, id)
-		db.bytes += wb + 8 // per-object diff header
+		t.diffBytes[o.Home] += wb + 8 // per-object diff header
 		// The twin is discarded after diffing.
-		if c := t.node.copies[id]; c != nil {
+		if c := t.node.copyAt(id); c != nil {
 			c.hasTwin = false
 		}
 	}
 	if diffCPU > 0 {
 		t.Charge(diffCPU)
 	}
-	for _, home := range diffHomes {
-		db := diffs[home]
-		t.k.stats.DiffBytes += int64(db.bytes)
+	for _, home := range t.diffHomes {
+		bytes := t.diffBytes[home]
+		t.diffBytes[home] = 0
+		t.k.stats.DiffBytes += int64(bytes)
 		t.k.stats.DiffMessages++
 		t.k.Net.Send(network.NodeID(t.node.id), network.NodeID(home),
-			network.CatGOSData, db.bytes, &protoMsg{kind: msgDiff, objs: db.objs})
+			network.CatGOSData, bytes, &protoMsg{kind: msgDiff})
 	}
 
 	// Finalize the OAL record.
@@ -258,6 +266,8 @@ func (t *Thread) closeInterval() {
 	}
 	if t.k.Cfg.Tracking != TrackingOff {
 		t.node.bufferOAL(t.rec)
+	} else {
+		t.k.recycleRecord(t.rec)
 	}
 	t.rec = nil
 
@@ -265,11 +275,11 @@ func (t *Thread) closeInterval() {
 		obs.OnIntervalClose(t)
 	}
 
-	// Reset per-interval access state.
-	for _, id := range t.accessedOrder {
-		delete(t.accessed, id)
-	}
+	// Reset per-interval access state. Entries stay in the accessed map
+	// with a now-stale interval stamp; the next interval revives them in
+	// place instead of reallocating.
 	t.accessedOrder = t.accessedOrder[:0]
+	t.closing = false
 }
 
 // --- the access path -------------------------------------------------------
@@ -302,10 +312,15 @@ func (t *Thread) access(o *heap.Object, write bool, writtenBytes int) {
 
 	ai := t.accessed[o.ID]
 	n := t.node
-	first := ai == nil
-	if first {
-		ai = &accessInfo{copy: n.copyOf(o)}
+	first := ai == nil || ai.interval != t.interval
+	if ai == nil {
+		ai = &accessInfo{interval: t.interval, copy: n.copyOf(o)}
 		t.accessed[o.ID] = ai
+		t.accessedOrder = append(t.accessedOrder, o.ID)
+	} else if ai.interval != t.interval {
+		// Revive a stale entry in place, keeping the cached copy header
+		// (invalidated only by migration, which clears the whole map).
+		*ai = accessInfo{interval: t.interval, copy: ai.copy}
 		t.accessedOrder = append(t.accessedOrder, o.ID)
 	}
 	if write {
@@ -329,7 +344,7 @@ func (t *Thread) access(o *heap.Object, write bool, writtenBytes int) {
 	// epoch, compare the fetched version against the home version.
 	if o.Home != n.id && c.checkedEpoch < n.epoch {
 		c.checkedEpoch = n.epoch
-		if c.valid && c.version < t.k.versions[o.ID] {
+		if c.valid && c.version < t.k.version(o.ID) {
 			c.valid = false
 		}
 	}
@@ -375,7 +390,7 @@ func (t *Thread) fault(o *heap.Object, c *copyState) {
 	t.proc.Block("fault " + o.Class.Name)
 	t.stats.FaultWaitTime += t.proc.Now() - wait0
 	c.valid = true
-	c.version = t.k.versions[o.ID]
+	c.version = t.k.version(o.ID)
 	c.falseInvalid = false
 	t.stats.Faults++
 	t.stats.FaultBytes += int64(o.Bytes())
@@ -444,10 +459,14 @@ func (t *Thread) MoveTo(nodeID int, payloadBytes int) {
 	t.k.Net.Send(network.NodeID(from.id), network.NodeID(nodeID),
 		network.CatMigration, payloadBytes,
 		&protoMsg{kind: msgMigrateIn, data: func() {
-			from.completePending(tok, nil)
+			from.completePending(tok)
 		}})
 	t.proc.Block("migrate")
 	t.node = target
+	// The cached copy headers in the accessed map belong to the old node;
+	// drop them so accesses on the new node resolve fresh ones.
+	clear(t.accessed)
+	t.accessedOrder = t.accessedOrder[:0]
 	self.stats.Migrations++
 }
 
@@ -458,7 +477,7 @@ func (k *Kernel) InstallPrefetched(nodeID int, objs []*heap.Object) {
 	for _, o := range objs {
 		c := n.copyOf(o)
 		c.valid = true
-		c.version = k.versions[o.ID]
+		c.version = k.version(o.ID)
 		c.checkedEpoch = n.epoch
 	}
 }

@@ -15,6 +15,18 @@ import (
 	"sort"
 )
 
+// Objects are stored in fixed-size chunks so that their addresses stay
+// stable for the lifetime of the registry (consumers cache *Object freely)
+// while allocation remains one bulk chunk per objChunkLen objects instead of
+// one heap allocation per object.
+const (
+	objChunkShift = 10
+	objChunkLen   = 1 << objChunkShift
+	objChunkMask  = objChunkLen - 1
+)
+
+type objChunk [objChunkLen]Object
+
 // PageSize is the virtual memory page size the paper's nX sampling-rate
 // notation is defined against ("sampling eight objects per memory page").
 const PageSize = 4096
@@ -183,21 +195,52 @@ func (o *Object) AmortizedBytesAtGap(gap int64) int {
 }
 
 // Registry owns all classes and objects of one DJVM instance.
+//
+// Objects live in a dense chunked arena: ObjectID n is the (n-1)-th slot of
+// the arena, so lookup is two array indexes, allocation is in-place (no
+// per-object heap allocation), and iteration order is ID order by
+// construction. Per-class indexes are maintained incrementally at Alloc /
+// AllocArray time, making ObjectsOfClass and ObjectsSorted O(1) slice
+// returns instead of full scans.
 type Registry struct {
 	classes      []*Class
 	classByName  map[string]*Class
-	objects      map[ObjectID]*Object
+	chunks       []*objChunk
+	all          []*Object   // every object, ID order
+	byClass      [][]*Object // indexed by ClassID, each ID order
 	nextObjectID ObjectID
+
+	// refSlab bulk-allocates Refs arrays: reference-field slices are cut
+	// from a shared backing array (full-slice expressions keep neighbours
+	// isolated) so ref-bearing classes don't pay one allocation per object.
+	refSlab []*Object
+	refPos  int
 
 	// bump allocators per node for address/page assignment
 	nodeBrk map[int]int64
+}
+
+// refSlabLen is the Refs backing-array chunk size in slots.
+const refSlabLen = 4096
+
+// allocRefs cuts a zeroed k-slot reference array from the slab.
+func (r *Registry) allocRefs(k int) []*Object {
+	if k > refSlabLen {
+		return make([]*Object, k)
+	}
+	if r.refPos+k > len(r.refSlab) {
+		r.refSlab = make([]*Object, refSlabLen)
+		r.refPos = 0
+	}
+	s := r.refSlab[r.refPos : r.refPos+k : r.refPos+k]
+	r.refPos += k
+	return s
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		classByName: make(map[string]*Class),
-		objects:     make(map[ObjectID]*Object),
 		nodeBrk:     make(map[int]int64),
 	}
 }
@@ -227,6 +270,7 @@ func (r *Registry) define(c *Class) *Class {
 	c.gap = 1 // default: full sampling until a gap is configured
 	c.nominalGap = 1
 	r.classes = append(r.classes, c)
+	r.byClass = append(r.byClass, nil)
 	r.classByName[c.Name] = c
 	return c
 }
@@ -260,7 +304,7 @@ func (r *Registry) Alloc(c *Class, node int) *Object {
 	o.Seq = c.nextSeq
 	c.nextSeq++
 	if c.NumRefFields > 0 {
-		o.Refs = make([]*Object, c.NumRefFields)
+		o.Refs = r.allocRefs(c.NumRefFields)
 	}
 	return o
 }
@@ -282,7 +326,12 @@ func (r *Registry) AllocArray(c *Class, n, node int) *Object {
 
 func (r *Registry) newObject(c *Class, node, n int) *Object {
 	r.nextObjectID++
-	o := &Object{ID: r.nextObjectID, Class: c, Len: n, Home: node}
+	idx := int(r.nextObjectID) - 1
+	if idx>>objChunkShift == len(r.chunks) {
+		r.chunks = append(r.chunks, new(objChunk))
+	}
+	o := &r.chunks[idx>>objChunkShift][idx&objChunkMask]
+	*o = Object{ID: r.nextObjectID, Class: c, Len: n, Home: node}
 	size := int64(c.InstanceBytes(n))
 	// Bump-allocate with word alignment on the home node's heap.
 	brk := r.nodeBrk[node]
@@ -290,16 +339,25 @@ func (r *Registry) newObject(c *Class, node, n int) *Object {
 	brk = (brk + align - 1) / align * align
 	o.Addr = brk
 	r.nodeBrk[node] = brk + size
-	r.objects[o.ID] = o
+	r.all = append(r.all, o)
+	r.byClass[c.ID] = append(r.byClass[c.ID], o)
 	return o
 }
 
-// Object looks up an object by ID, or nil.
-func (r *Registry) Object(id ObjectID) *Object { return r.objects[id] }
+// Object looks up an object by ID, or nil. Lookup indexes the chunk arena
+// directly (not the iteration slices), so it stays correct even if a caller
+// violates the read-only contract on ObjectsSorted/ObjectsOfClass.
+func (r *Registry) Object(id ObjectID) *Object {
+	idx := int64(id) - 1
+	if idx < 0 || idx >= int64(len(r.all)) {
+		return nil
+	}
+	return &r.chunks[idx>>objChunkShift][idx&objChunkMask]
+}
 
 // MustObject looks up an object by ID and panics if missing.
 func (r *Registry) MustObject(id ObjectID) *Object {
-	o := r.objects[id]
+	o := r.Object(id)
 	if o == nil {
 		panic(fmt.Sprintf("heap: unknown object %d", id))
 	}
@@ -307,30 +365,21 @@ func (r *Registry) MustObject(id ObjectID) *Object {
 }
 
 // NumObjects reports how many objects have been allocated.
-func (r *Registry) NumObjects() int { return len(r.objects) }
+func (r *Registry) NumObjects() int { return len(r.all) }
 
 // ObjectsSorted returns every object sorted by ID (stable iteration order
-// for deterministic daemons).
-func (r *Registry) ObjectsSorted() []*Object {
-	out := make([]*Object, 0, len(r.objects))
-	for _, o := range r.objects {
-		out = append(out, o)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
+// for deterministic daemons). The returned slice is the registry's live
+// index — callers must treat it as read-only and must not append to it.
+func (r *Registry) ObjectsSorted() []*Object { return r.all }
 
-// ObjectsOfClass returns the class's live objects sorted by ID.
-func (r *Registry) ObjectsOfClass(c *Class) []*Object {
-	var out []*Object
-	for _, o := range r.objects {
-		if o.Class == c {
-			out = append(out, o)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
+// ObjectsOfClass returns the class's live objects sorted by ID. The slice
+// is maintained incrementally at allocation time, so this is O(1); callers
+// must treat it as read-only and must not append to it.
+func (r *Registry) ObjectsOfClass(c *Class) []*Object { return r.byClass[c.ID] }
+
+// NumObjectsOfClass reports how many instances of c are live, without
+// materializing the object slice.
+func (r *Registry) NumObjectsOfClass(c *Class) int { return len(r.byClass[c.ID]) }
 
 // HeapBytes reports the bump-allocated heap size of one node.
 func (r *Registry) HeapBytes(node int) int64 { return r.nodeBrk[node] }

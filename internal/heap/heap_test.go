@@ -338,3 +338,154 @@ func TestSampledGapEdgeCases(t *testing.T) {
 		t.Fatal("non-positive gap must sample nothing")
 	}
 }
+
+// --- slice-arena registry invariants -----------------------------------------
+
+// TestPerClassIndexSortedInterleaved: the per-class index stays ID-sorted
+// across interleaved scalar and array allocations on multiple nodes.
+func TestPerClassIndexSortedInterleaved(t *testing.T) {
+	r := newReg()
+	s := r.DefineClass("S", 24, 1)
+	a := r.DefineArrayClass("A", 8)
+	b := r.DefineClass("B", 64, 0)
+	for i := 0; i < 500; i++ {
+		node := i % 4
+		switch i % 3 {
+		case 0:
+			r.Alloc(s, node)
+		case 1:
+			r.AllocArray(a, 1+i%17, node)
+		case 2:
+			r.Alloc(b, node)
+		}
+	}
+	for _, c := range r.Classes() {
+		objs := r.ObjectsOfClass(c)
+		if len(objs) != r.NumObjectsOfClass(c) {
+			t.Fatalf("class %s: len %d != count %d", c.Name, len(objs), r.NumObjectsOfClass(c))
+		}
+		for i, o := range objs {
+			if o.Class != c {
+				t.Fatalf("class %s index holds foreign object %d", c.Name, o.ID)
+			}
+			if i > 0 && objs[i].ID <= objs[i-1].ID {
+				t.Fatalf("class %s index not ID-sorted at %d", c.Name, i)
+			}
+		}
+	}
+}
+
+// TestObjectsOfClassAgreesWithBruteForce: the incremental index matches a
+// brute-force scan over every object.
+func TestObjectsOfClassAgreesWithBruteForce(t *testing.T) {
+	r := newReg()
+	classes := []*Class{
+		r.DefineClass("x", 8, 0),
+		r.DefineArrayClass("y", 4),
+		r.DefineClass("z", 128, 2),
+	}
+	for i := 0; i < 300; i++ {
+		c := classes[i%len(classes)]
+		if c.IsArray {
+			r.AllocArray(c, 1+i%9, i%3)
+		} else {
+			r.Alloc(c, i%3)
+		}
+	}
+	for _, c := range classes {
+		var brute []*Object
+		for _, o := range r.ObjectsSorted() {
+			if o.Class == c {
+				brute = append(brute, o)
+			}
+		}
+		got := r.ObjectsOfClass(c)
+		if len(got) != len(brute) {
+			t.Fatalf("class %s: index %d objects, brute force %d", c.Name, len(got), len(brute))
+		}
+		for i := range got {
+			if got[i] != brute[i] {
+				t.Fatalf("class %s: index[%d] = %d, brute[%d] = %d",
+					c.Name, i, got[i].ID, i, brute[i].ID)
+			}
+		}
+	}
+}
+
+// TestObjectPointerStability: *Object handles taken early must stay valid
+// (same address, same data) after the arena grows by many chunks.
+func TestObjectPointerStability(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("pin", 16, 0)
+	early := r.Alloc(c, 2)
+	earlySeq, earlyAddr := early.Seq, early.Addr
+	for i := 0; i < 5*objChunkLen; i++ {
+		r.Alloc(c, 0)
+	}
+	if r.Object(early.ID) != early {
+		t.Fatal("lookup returns a different pointer after arena growth")
+	}
+	if early.Seq != earlySeq || early.Addr != earlyAddr || early.Home != 2 {
+		t.Fatal("early object corrupted by arena growth")
+	}
+}
+
+// TestObjectLookupBounds: dense lookup handles the zero ID and IDs past the
+// end without panicking.
+func TestObjectLookupBounds(t *testing.T) {
+	r := newReg()
+	c := r.DefineClass("X", 8, 0)
+	o := r.Alloc(c, 0)
+	if r.Object(o.ID) != o {
+		t.Fatal("roundtrip failed")
+	}
+	if r.Object(InvalidObject) != nil || r.Object(-5) != nil || r.Object(o.ID+1) != nil {
+		t.Fatal("out-of-range lookup must return nil")
+	}
+}
+
+// BenchmarkObjectsOfClass pins the O(1) no-scan guarantee: returning the
+// class index must not allocate regardless of population size.
+func BenchmarkObjectsOfClass(b *testing.B) {
+	r := newReg()
+	c := r.DefineClass("hot", 32, 0)
+	d := r.DefineClass("cold", 32, 0)
+	for i := 0; i < 100000; i++ {
+		r.Alloc(c, 0)
+		r.Alloc(d, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.ObjectsOfClass(c)) != 100000 {
+			b.Fatal("bad index")
+		}
+	}
+}
+
+// BenchmarkObjectsSorted pins the O(1) return of the full ID-ordered index.
+func BenchmarkObjectsSorted(b *testing.B) {
+	r := newReg()
+	c := r.DefineClass("hot", 32, 0)
+	for i := 0; i < 100000; i++ {
+		r.Alloc(c, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.ObjectsSorted()) != 100000 {
+			b.Fatal("bad index")
+		}
+	}
+}
+
+// BenchmarkAlloc measures the arena allocation path itself.
+func BenchmarkAlloc(b *testing.B) {
+	r := newReg()
+	c := r.DefineClass("obj", 48, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Alloc(c, i%8)
+	}
+}

@@ -54,9 +54,15 @@ type Part struct {
 type Message struct {
 	From, To NodeID
 	Parts    []Part
-	Payload  interface{}
+	Payload  any
 	// SentAt / DeliveredAt are virtual times for latency diagnostics.
 	SentAt, DeliveredAt sim.Time
+
+	// partsBuf inline-stores the parts: every protocol message carries one
+	// or two categories, so Send/SendParts fill this buffer instead of
+	// allocating a separate Parts array (and the caller's parts slice no
+	// longer escapes).
+	partsBuf [2]Part
 }
 
 // TotalBytes sums all parts plus the fixed per-message header.
@@ -182,16 +188,26 @@ func (n *Network) TransferTime(totalBytes int) sim.Time {
 }
 
 // Send transmits a single-category message. See SendParts.
-func (n *Network) Send(from, to NodeID, cat Category, bytes int, payload interface{}) {
-	n.SendParts(from, to, []Part{{Cat: cat, Bytes: bytes}}, payload)
+func (n *Network) Send(from, to NodeID, cat Category, bytes int, payload any) {
+	msg := &Message{From: from, To: to, Payload: payload, SentAt: n.eng.Now()}
+	msg.partsBuf[0] = Part{Cat: cat, Bytes: bytes}
+	msg.Parts = msg.partsBuf[:1]
+	n.post(msg)
 }
 
 // SendParts transmits a message whose payload is split across categories
 // (piggybacking): transfer time is charged on the total size while the
 // accounting splits per category. Local sends (from == to) are delivered
 // with zero delay and no traffic accounting.
-func (n *Network) SendParts(from, to NodeID, parts []Part, payload interface{}) {
-	msg := &Message{From: from, To: to, Parts: parts, Payload: payload, SentAt: n.eng.Now()}
+func (n *Network) SendParts(from, to NodeID, parts []Part, payload any) {
+	msg := &Message{From: from, To: to, Payload: payload, SentAt: n.eng.Now()}
+	msg.Parts = append(msg.partsBuf[:0], parts...)
+	n.post(msg)
+}
+
+// post schedules the message's delivery.
+func (n *Network) post(msg *Message) {
+	from, to, parts := msg.From, msg.To, msg.Parts
 	if from == to {
 		n.eng.After(0, func() {
 			msg.DeliveredAt = n.eng.Now()

@@ -31,6 +31,13 @@ type Record struct {
 	Entries        []Entry
 }
 
+// Reset clears the record for reuse, retaining the Entries backing array so
+// that pooled records stop reallocating entry buffers every interval.
+func (r *Record) Reset() {
+	entries := r.Entries[:0]
+	*r = Record{Entries: entries}
+}
+
 // entryWireBytes is the encoded size of one entry: 4-byte object id
 // + 4-byte size (matching the paper's "accessed object id and size").
 const entryWireBytes = 8

@@ -37,9 +37,25 @@ const MaxRate = Rate(heap.PageSize / heap.WordSize)
 
 // SweepRates returns the power-of-two rate ladder from `from` down to 1X,
 // as used in the Fig. 9 accuracy sweep (512X, 256X, ..., 1X).
+//
+// The ladder is defined on powers of two only, so a non-power-of-two
+// starting rate is normalized down to the largest power of two not
+// exceeding it (100X → 64X, 33X → 32X) rather than silently producing odd
+// half-rates like 50X/25X/12X. FullRate starts the ladder at MaxRate;
+// rates below 1X yield an empty ladder.
 func SweepRates(from Rate) []Rate {
-	var out []Rate
-	for r := from; r >= 1; r /= 2 {
+	if from == FullRate {
+		from = MaxRate
+	}
+	if from < 1 {
+		return nil
+	}
+	start := Rate(1)
+	for start*2 <= from {
+		start *= 2
+	}
+	out := make([]Rate, 0, 16)
+	for r := start; r >= 1; r /= 2 {
 		out = append(out, r)
 	}
 	return out
@@ -170,7 +186,7 @@ func (p Plan) Apply(reg *heap.Registry) int {
 		old := c.Gap()
 		ApplyRate(c, p[name])
 		if c.Gap() != old {
-			resampled += len(reg.ObjectsOfClass(c))
+			resampled += reg.NumObjectsOfClass(c)
 		}
 	}
 	return resampled

@@ -243,3 +243,78 @@ func TestQuickControllerMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSweepRatesNormalization: non-power-of-two starts normalize down to a
+// power of two instead of producing odd half-rates, FullRate starts the
+// ladder at MaxRate, and sub-1X starts yield an empty ladder.
+func TestSweepRatesNormalization(t *testing.T) {
+	cases := []struct {
+		from Rate
+		want []Rate
+	}{
+		{100, []Rate{64, 32, 16, 8, 4, 2, 1}},
+		{33, []Rate{32, 16, 8, 4, 2, 1}},
+		{3, []Rate{2, 1}},
+		{1, []Rate{1}},
+		{0, nil},
+		{FullRate, SweepRates(MaxRate)},
+	}
+	for _, c := range cases {
+		got := SweepRates(c.from)
+		if len(got) != len(c.want) {
+			t.Fatalf("SweepRates(%d) = %v, want %v", c.from, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SweepRates(%d) = %v, want %v", c.from, got, c.want)
+			}
+		}
+	}
+}
+
+// TestPlanApplyResampleCount: Apply reports exactly the live-object count of
+// every class whose real gap changed — the seed semantics the slice-backed
+// per-class counters must preserve.
+func TestPlanApplyResampleCount(t *testing.T) {
+	reg := heap.NewRegistry()
+	small := reg.DefineClass("small", 8, 0)
+	big := reg.DefineClass("big", 4096, 0)
+	arr := reg.DefineArrayClass("arr", 8)
+	for i := 0; i < 30; i++ {
+		reg.Alloc(small, i%3)
+	}
+	for i := 0; i < 20; i++ {
+		reg.Alloc(big, i%3)
+	}
+	for i := 0; i < 10; i++ {
+		reg.AllocArray(arr, 4, i%3)
+	}
+
+	// From the default gap 1: "small" at 4X gets a real gap > 1 (128 B
+	// nominal unit → gap 127), "big" saturates at gap 1 (no change), "arr"
+	// at 4X gets a prime gap from its 8 B elements.
+	p := Plan{"small": 4, "big": 4, "arr": 4}
+	got := p.Apply(reg)
+	want := 0
+	if g := small.Gap(); g != 1 {
+		want += 30
+	}
+	if g := big.Gap(); g != 1 {
+		want += 20
+	}
+	if g := arr.Gap(); g != 1 {
+		want += 10
+	}
+	if got != want {
+		t.Fatalf("resampled = %d, want %d (small gap %d, big gap %d, arr gap %d)",
+			got, want, small.Gap(), big.Gap(), arr.Gap())
+	}
+	if want == 0 {
+		t.Fatal("test vacuous: no class changed gap")
+	}
+
+	// Re-applying the identical plan changes no gap: zero resamples.
+	if again := p.Apply(reg); again != 0 {
+		t.Fatalf("idempotent re-apply resampled %d objects", again)
+	}
+}

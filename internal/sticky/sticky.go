@@ -132,8 +132,11 @@ type Footprinter struct {
 	thread *gos.Thread
 
 	// counts tracks, per sampled object touched this interval, how many
-	// re-arm periods trapped it (the access-frequency statistic).
-	counts map[heap.ObjectID]*objCount
+	// re-arm periods trapped it (the access-frequency statistic). The map
+	// and its objCount entries are recycled across intervals.
+	counts  map[heap.ObjectID]*objCount
+	ocFree  []*objCount
+	idOrder []int64 // interval-close iteration scratch
 
 	nextSweep sim.Time
 
@@ -220,7 +223,13 @@ func (fp *Footprinter) OnAccess(t *gos.Thread, o *heap.Object, write, first bool
 	}
 	oc := fp.counts[o.ID]
 	if oc == nil {
-		oc = &objCount{obj: o, armed: true} // first touch traps
+		if n := len(fp.ocFree); n > 0 {
+			oc = fp.ocFree[n-1]
+			fp.ocFree = fp.ocFree[:n-1]
+			*oc = objCount{obj: o, armed: true}
+		} else {
+			oc = &objCount{obj: o, armed: true} // first touch traps
+		}
 		fp.counts[o.ID] = oc
 	}
 	if !oc.armed {
@@ -261,10 +270,11 @@ func (fp *Footprinter) OnIntervalClose(t *gos.Thread) {
 	}
 	fp.intervals++
 	raw := make(Footprint)
-	ids := make([]int64, 0, len(fp.counts))
+	ids := fp.idOrder[:0]
 	for id := range fp.counts {
 		ids = append(ids, int64(id))
 	}
+	fp.idOrder = ids
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		oc := fp.counts[heap.ObjectID(id)]
@@ -288,7 +298,11 @@ func (fp *Footprinter) OnIntervalClose(t *gos.Thread) {
 			fp.footprint[c] = int64((1 - a) * float64(fp.footprint[c]))
 		}
 	}
-	fp.counts = make(map[heap.ObjectID]*objCount)
+	// Recycle the interval's counts instead of reallocating them.
+	for _, oc := range fp.counts {
+		fp.ocFree = append(fp.ocFree, oc)
+	}
+	clear(fp.counts)
 }
 
 // Footprint returns a copy of the current smoothed estimate.

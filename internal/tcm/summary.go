@@ -75,7 +75,12 @@ func (b *Builder) IngestSummary(s *Summary) {
 	for _, o := range s.Objs {
 		oe := b.objs[o.Key]
 		if oe == nil {
-			oe = &objEntry{threads: make(map[int]struct{}, len(o.Threads))}
+			if n := len(b.free); n > 0 {
+				oe = b.free[n-1]
+				b.free = b.free[:n-1]
+			} else {
+				oe = &objEntry{threads: make(map[int]struct{}, len(o.Threads))}
+			}
 			b.objs[o.Key] = oe
 		}
 		if o.Bytes > oe.bytes {

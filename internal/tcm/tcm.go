@@ -180,6 +180,14 @@ type Builder struct {
 	n    int
 	objs map[int64]*objEntry
 	cost BuildCost
+
+	// free recycles objEntry structs (and their thread-set maps) across
+	// profiling windows; keys and ts are iteration scratch reused across
+	// Build calls. Together they make the per-window daemon work
+	// allocation-free at steady state.
+	free []*objEntry
+	keys []int64
+	ts   []int
 }
 
 type objEntry struct {
@@ -218,7 +226,12 @@ func (b *Builder) IngestRecord(r *oal.Record) {
 func (b *Builder) AddAccess(t int, key int64, bytes float64) {
 	oe := b.objs[key]
 	if oe == nil {
-		oe = &objEntry{threads: make(map[int]struct{}, 2)}
+		if n := len(b.free); n > 0 {
+			oe = b.free[n-1]
+			b.free = b.free[:n-1]
+		} else {
+			oe = &objEntry{threads: make(map[int]struct{}, 2)}
+		}
 		b.objs[key] = oe
 	}
 	if bytes > oe.bytes {
@@ -233,20 +246,22 @@ func (b *Builder) Build() (*Map, BuildCost) {
 	m := NewMap(b.n)
 	b.cost.Objects = len(b.objs)
 	// Deterministic iteration: sort object keys.
-	keys := make([]int64, 0, len(b.objs))
+	keys := b.keys[:0]
 	for k := range b.objs {
 		keys = append(keys, k)
 	}
+	b.keys = keys
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, k := range keys {
 		oe := b.objs[k]
 		if len(oe.threads) < 2 {
 			continue
 		}
-		ts := make([]int, 0, len(oe.threads))
+		ts := b.ts[:0]
 		for t := range oe.threads {
 			ts = append(ts, t)
 		}
+		b.ts = ts
 		sort.Ints(ts)
 		for i := 0; i < len(ts); i++ {
 			for j := i + 1; j < len(ts); j++ {
@@ -258,8 +273,14 @@ func (b *Builder) Build() (*Map, BuildCost) {
 	return m, b.cost
 }
 
-// Reset clears ingested state for the next profiling window.
+// Reset clears ingested state for the next profiling window, retaining the
+// entry structs and thread-set maps for reuse.
 func (b *Builder) Reset() {
-	b.objs = make(map[int64]*objEntry)
+	for _, oe := range b.objs {
+		oe.bytes = 0
+		clear(oe.threads)
+		b.free = append(b.free, oe)
+	}
+	clear(b.objs)
 	b.cost = BuildCost{}
 }
