@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test bench clean
+.PHONY: verify build vet test test-race bench clean
 
 verify: build vet test
 
@@ -16,6 +16,11 @@ vet:
 
 test:
 	go test ./...
+
+# test-race reruns the suite under the race detector (CI's second job);
+# it also re-executes the golden-trace determinism tests.
+test-race:
+	go test -race ./...
 
 # bench runs the Go benchmarks (allocs/op is the regression metric; see
 # EXPERIMENTS.md) and writes the machine-readable djvmbench report.

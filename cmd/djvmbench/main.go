@@ -61,6 +61,7 @@ func writeBenchJSON(path string, sc experiments.Scale) error {
 		{"Table5", func() { experiments.Table5(sc) }},
 		{"Fig9", func() { experiments.Fig9(sc) }},
 		{"Fig1", func() { experiments.Fig1(sc) }},
+		{"FigS", func() { experiments.FigS(sc) }},
 	}
 	report := benchReport{Scale: int(sc), GoVersion: runtime.Version()}
 	for _, c := range cases {
@@ -90,6 +91,7 @@ func main() {
 	var (
 		table     = flag.Int("table", 0, "regenerate table N (1-5)")
 		fig       = flag.Int("fig", 0, "regenerate figure N (1 or 9)")
+		figS      = flag.Bool("figS", false, "regenerate Figure S (scenario sensitivity sweep)")
 		all       = flag.Bool("all", false, "regenerate everything")
 		scale     = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -105,7 +107,7 @@ func main() {
 		fmt.Println("wrote", *benchjson)
 		return
 	}
-	if !*all && *table == 0 && *fig == 0 {
+	if !*all && *table == 0 && *fig == 0 && !*figS {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -148,5 +150,8 @@ func main() {
 	}
 	if *all || *fig == 1 {
 		run("Figure 1", func() { fmt.Println(experiments.Fig1(sc)) })
+	}
+	if *all || *figS {
+		run("Figure S", func() { emit(experiments.FigS(sc).Table()) })
 	}
 }

@@ -7,6 +7,12 @@
 //	djvmrun -app sor -threads 8 -rate full
 //	djvmrun -app bh -threads 16 -rate 4 -stack -footprint -plan
 //	djvmrun -app water -adaptive
+//	djvmrun -app kv -adaptive -scenario phased
+//	djvmrun -app lu -scenario hetero,noisy,jitter -scenario-seed 7
+//
+// The -scenario flag injects fault-injection perturbation schedules
+// (comma-separated presets: hetero, ramp, jitter, noisy, phased, storm)
+// composed by the scenario engine; runs stay deterministic per seed.
 package main
 
 import (
@@ -21,7 +27,7 @@ import (
 
 func main() {
 	var (
-		app       = flag.String("app", "sor", "benchmark: sor | bh | water | synth")
+		app       = flag.String("app", "sor", "benchmark: sor | bh | water | synth | lu | kv")
 		nodes     = flag.Int("nodes", 8, "cluster nodes")
 		threads   = flag.Int("threads", 8, "worker threads")
 		seed      = flag.Uint64("seed", 42, "workload seed")
@@ -31,6 +37,8 @@ func main() {
 		footprint = flag.Bool("footprint", false, "enable sticky-set footprinting")
 		showTCM   = flag.Bool("tcm", true, "print the thread correlation map")
 		plan      = flag.Bool("plan", false, "print a correlation-driven placement plan")
+		scenSpec  = flag.String("scenario", "none", "fault-injection scenario presets, comma-separated: hetero | ramp | jitter | noisy | phased | storm")
+		scenSeed  = flag.Uint64("scenario-seed", 0, "scenario seed (0 = workload seed)")
 	)
 	flag.Parse()
 
@@ -44,6 +52,10 @@ func main() {
 		w = jessica2.NewWaterSpatial()
 	case "synth", "synthetic":
 		w = jessica2.NewSynthetic()
+	case "lu":
+		w = jessica2.NewLU()
+	case "kv", "kvmix":
+		w = jessica2.NewKVMix()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)
@@ -69,6 +81,16 @@ func main() {
 	if rate == 0 {
 		cfg.Tracking = jessica2.TrackingOff
 	}
+	ss := *scenSeed
+	if ss == 0 {
+		ss = *seed
+	}
+	scen, err := jessica2.ParseScenario(*scenSpec, *nodes, ss)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Scenario = scen
 	sys := jessica2.New(cfg)
 	sys.Launch(w, jessica2.Params{Threads: *threads, Seed: *seed})
 
@@ -88,7 +110,7 @@ func main() {
 	prof := sys.AttachProfiling(pc)
 
 	rep := sys.Run()
-	fmt.Printf("%s on %d nodes, %d threads\n\n%s\n", w.Name(), *nodes, *threads, rep)
+	fmt.Printf("%s on %d nodes, %d threads (scenario: %s)\n\n%s\n", w.Name(), *nodes, *threads, scen, rep)
 
 	if *adaptive {
 		fmt.Println("adaptive controller trace:")

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestPipelineEndToEnd executes the example end-to-end: a custom workload
+// written against the public API (locks, barriers, shadow stacks), full
+// correlation tracking, and a balancer plan over the resulting TCM.
+func TestPipelineEndToEnd(t *testing.T) {
+	main()
+}

@@ -12,20 +12,23 @@ import (
 	"jessica2/internal/network"
 	"jessica2/internal/pagesim"
 	"jessica2/internal/sampling"
+	"jessica2/internal/scenario"
 	"jessica2/internal/sim"
 	"jessica2/internal/sticky"
 	"jessica2/internal/tcm"
 	"jessica2/internal/workload"
 )
 
-// App identifies one of the paper's benchmarks.
+// App identifies one of the benchmarks.
 type App int
 
-// The paper's three applications.
+// The paper's three applications plus the scenario-era additions.
 const (
 	AppSOR App = iota
 	AppBarnesHut
 	AppWaterSpatial
+	AppLU
+	AppKVMix
 )
 
 func (a App) String() string {
@@ -36,13 +39,21 @@ func (a App) String() string {
 		return "Barnes-Hut"
 	case AppWaterSpatial:
 		return "Water-Spatial"
+	case AppLU:
+		return "LU"
+	case AppKVMix:
+		return "KVMix"
 	default:
 		return fmt.Sprintf("app(%d)", int(a))
 	}
 }
 
-// Apps lists the benchmarks in paper order.
+// Apps lists the paper's benchmarks in paper order (the tables iterate
+// these; the scenario-era additions live in AllApps).
 var Apps = []App{AppSOR, AppBarnesHut, AppWaterSpatial}
+
+// AllApps includes the post-paper workloads.
+var AllApps = []App{AppSOR, AppBarnesHut, AppWaterSpatial, AppLU, AppKVMix}
 
 // Scale shrinks the problem sizes for quick test runs; 1 = paper scale.
 // Values > 1 divide dataset dimensions (rows, bodies, molecules, rounds
@@ -85,6 +96,25 @@ func NewWorkload(a App, small bool, scale Scale) workload.Workload {
 			w.NMol = 64
 		}
 		return w
+	case AppLU:
+		w := workload.NewLU()
+		w.N /= s
+		if w.N < 4*w.Block {
+			w.N = 4 * w.Block
+		}
+		return w
+	case AppKVMix:
+		w := workload.NewKVMix()
+		w.Keys /= s
+		if w.Keys < 256 {
+			w.Keys = 256
+		}
+		w.TxnsPerRound /= s
+		if w.TxnsPerRound < 16 {
+			w.TxnsPerRound = 16
+		}
+		w.HotSpan = w.Keys / 8
+		return w
 	}
 	panic("experiments: unknown app")
 }
@@ -116,6 +146,9 @@ type Spec struct {
 	Adaptive  *core.AdaptiveConfig
 	// PageTracker attaches the page-based baseline (Fig. 1b).
 	PageTracker bool
+	// Scenario, when non-nil, perturbs the run with the fault-injection
+	// scenario engine (Figure S sensitivity sweeps).
+	Scenario *scenario.Scenario
 }
 
 // Out is the outcome of one run.
@@ -163,8 +196,14 @@ func Run(spec Spec) *Out {
 	kcfg.DistributedTCM = spec.DistributedTCM
 	k := gos.NewKernel(kcfg)
 
+	params := workload.Params{Threads: spec.Threads, Seed: spec.Seed}
+	if spec.Scenario != nil {
+		params.Phase = new(workload.Phase)
+		spec.Scenario.Apply(k, params.Phase)
+	}
+
 	w := NewWorkload(spec.App, spec.Small, spec.Scale)
-	w.Launch(k, workload.Params{Threads: spec.Threads, Seed: spec.Seed})
+	w.Launch(k, params)
 
 	var tracker *pagesim.Tracker
 	if spec.PageTracker {

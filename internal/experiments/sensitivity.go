@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jessica2/internal/core"
+	"jessica2/internal/gos"
+	"jessica2/internal/metrics"
+	"jessica2/internal/sampling"
+	"jessica2/internal/scenario"
+	"jessica2/internal/sim"
+	"jessica2/internal/tcm"
+)
+
+// --- Figure S (scenario sensitivity) -----------------------------------------
+//
+// The paper evaluates adaptive sampling on a uniform, fault-free cluster.
+// Figure S is our extension: the same profiling configurations run under
+// the fault-injection scenario engine's perturbation schedules, measuring
+// how fixed-rate and adaptive sampling respond to heterogeneous CPUs,
+// noisy neighbors and phase-shifting workloads. The sweep runs the KVMix
+// workload (skewed, lock-heavy, phase-aware) per scenario in three modes:
+// full-rate reference, fixed nX rate, and the adaptive controller.
+
+// FigSScenarios is the sweep's scenario axis ("none" = unperturbed baseline).
+var FigSScenarios = []string{"none", "hetero", "noisy", "phased", "storm"}
+
+// FigSFixedRate is the fixed-mode sampling rate the adaptive mode competes
+// against.
+const FigSFixedRate = sampling.Rate(4)
+
+// FigSRow is one (scenario, mode) measurement.
+type FigSRow struct {
+	Scenario  string
+	Mode      string // "full", "fixed-4X", "adaptive"
+	Exec      sim.Time
+	FinalRate sampling.Rate
+	// RateRaises counts adaptive controller rate changes (0 for the
+	// non-adaptive modes).
+	RateRaises int
+	// AccuracyABS is 1 − E_ABS against the full-rate map of the same
+	// scenario (1.0 for the reference itself).
+	AccuracyABS float64
+	OALKB       float64
+}
+
+// FigSResult holds the sensitivity sweep.
+type FigSResult struct {
+	Scale Scale
+	Seed  uint64
+	Rows  []FigSRow
+}
+
+// figSSpec builds the common run spec for one scenario/mode cell. Each cell
+// gets a freshly built scenario so seeded streams never leak across runs.
+func figSSpec(sc Scale, seed uint64, scenarioName string) Spec {
+	spec := Spec{
+		App: AppKVMix, Scale: sc, Nodes: 4, Threads: 8, Seed: seed,
+		Tracking: gos.TrackingSampled, TransferOALs: true,
+	}
+	if scenarioName != "none" {
+		s, err := scenario.Preset(scenarioName, spec.Nodes, seed)
+		if err != nil {
+			panic(err)
+		}
+		spec.Scenario = s
+	}
+	return spec
+}
+
+// FigS runs the sensitivity sweep at the given dataset scale.
+func FigS(sc Scale) *FigSResult {
+	const seed = 42
+	res := &FigSResult{Scale: sc, Seed: seed}
+	for _, name := range FigSScenarios {
+		// Full-rate reference for this scenario.
+		fullSpec := figSSpec(sc, seed, name)
+		fullSpec.Rate = sampling.FullRate
+		full := Run(fullSpec)
+		res.Rows = append(res.Rows, FigSRow{
+			Scenario: name, Mode: "full", Exec: full.Exec,
+			FinalRate: sampling.FullRate, AccuracyABS: 1,
+			OALKB: full.OALKB(),
+		})
+
+		// Fixed-rate mode.
+		fixedSpec := figSSpec(sc, seed, name)
+		fixedSpec.Rate = FigSFixedRate
+		fixed := Run(fixedSpec)
+		res.Rows = append(res.Rows, FigSRow{
+			Scenario: name, Mode: fmt.Sprintf("fixed-%v", FigSFixedRate), Exec: fixed.Exec,
+			FinalRate:   FigSFixedRate,
+			AccuracyABS: tcm.Accuracy(tcm.DistanceABS(fixed.TCM, full.TCM)),
+			OALKB:       fixed.OALKB(),
+		})
+
+		// Adaptive mode: start coarse, let the controller walk the ladder.
+		adSpec := figSSpec(sc, seed, name)
+		ad := core.DefaultAdaptiveConfig()
+		ad.Window = 2 * sim.Millisecond // KVMix runs are short; decide often
+		ad.Start = 1
+		adSpec.Adaptive = &ad
+		adaptive := Run(adSpec)
+		raises := 0
+		finalRate := ad.Start
+		for _, rc := range adaptive.Profiler.RateTrace {
+			if rc.To != rc.From {
+				raises++
+			}
+			finalRate = rc.To
+		}
+		res.Rows = append(res.Rows, FigSRow{
+			Scenario: name, Mode: "adaptive", Exec: adaptive.Exec,
+			FinalRate: finalRate, RateRaises: raises,
+			AccuracyABS: tcm.Accuracy(tcm.DistanceABS(adaptive.TCM, full.TCM)),
+			OALKB:       adaptive.OALKB(),
+		})
+	}
+	return res
+}
+
+// Row returns the (scenario, mode) cell, or nil.
+func (r *FigSResult) Row(scenarioName, mode string) *FigSRow {
+	for i := range r.Rows {
+		if r.Rows[i].Scenario == scenarioName && r.Rows[i].Mode == mode {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// AdaptiveDiffers reports whether, under the named scenario, adaptive
+// sampling behaved measurably differently from the fixed rate: a different
+// final effective rate, or an accuracy gap beyond eps.
+func (r *FigSResult) AdaptiveDiffers(scenarioName string, eps float64) bool {
+	ad := r.Row(scenarioName, "adaptive")
+	fx := r.Row(scenarioName, fmt.Sprintf("fixed-%v", FigSFixedRate))
+	if ad == nil || fx == nil {
+		return false
+	}
+	if ad.FinalRate != fx.FinalRate {
+		return true
+	}
+	diff := ad.AccuracyABS - fx.AccuracyABS
+	return diff > eps || diff < -eps
+}
+
+// Table renders the sweep.
+func (r *FigSResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("FIGURE S. SAMPLING SENSITIVITY UNDER FAULT-INJECTION SCENARIOS (KVMix, 8 threads, seed %d)", r.Seed),
+		"Scenario", "Mode", "Exec", "Final Rate", "Raises", "Accuracy/ABS", "OAL KB")
+	prev := ""
+	for _, row := range r.Rows {
+		name := row.Scenario
+		if name == prev {
+			name = ""
+		} else {
+			prev = row.Scenario
+		}
+		t.AddRow(name, row.Mode, row.Exec.String(), row.FinalRate.String(),
+			fmt.Sprintf("%d", row.RateRaises),
+			fmt.Sprintf("%.2f%%", row.AccuracyABS*100),
+			fmt.Sprintf("%.1f", row.OALKB))
+	}
+	return t
+}
+
+func (r *FigSResult) String() string { return r.Table().String() }

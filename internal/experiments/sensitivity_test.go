@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"jessica2/internal/sampling"
+)
+
+// TestFigSAdaptiveVsFixedUnderPerturbation is the acceptance check for the
+// scenario engine: under at least one perturbation schedule, adaptive
+// sampling must behave measurably differently from fixed-rate sampling
+// (the whole point of validating the adaptive profilers on non-uniform
+// clusters).
+func TestFigSAdaptiveVsFixedUnderPerturbation(t *testing.T) {
+	res := FigS(8)
+	wantRows := len(FigSScenarios) * 3
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+
+	differs := false
+	for _, name := range FigSScenarios {
+		if name == "none" {
+			continue
+		}
+		if res.AdaptiveDiffers(name, 0.001) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Errorf("adaptive sampling indistinguishable from fixed-rate under every scenario:\n%s", res)
+	}
+
+	// The adaptive controller must actually adapt — walk the rate ladder —
+	// under the phase-shifting scenario.
+	ad := res.Row("phased", "adaptive")
+	if ad == nil {
+		t.Fatal("no adaptive row for the phased scenario")
+	}
+	if ad.RateRaises == 0 {
+		t.Errorf("adaptive controller never raised the rate under the phased scenario:\n%s", res)
+	}
+	if ad.FinalRate < 1 && ad.FinalRate != sampling.FullRate {
+		t.Errorf("adaptive final rate %v out of range", ad.FinalRate)
+	}
+
+	// Perturbations must actually perturb: the storm scenario's full-rate
+	// run cannot match the unperturbed full-rate execution time.
+	if a, b := res.Row("none", "full"), res.Row("storm", "full"); a.Exec == b.Exec {
+		t.Errorf("storm scenario did not change the execution time (%v)", a.Exec)
+	}
+
+	// Sanity on the reference rows.
+	for _, name := range FigSScenarios {
+		if full := res.Row(name, "full"); full == nil || full.AccuracyABS != 1 {
+			t.Errorf("bad full-rate reference row for %q: %+v", name, full)
+		}
+	}
+}

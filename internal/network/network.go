@@ -98,6 +98,20 @@ func DefaultConfig() Config {
 // and must not block; they may wake procs and schedule events.
 type Handler func(*Message)
 
+// Shaper is a time-varying link model: when installed, it replaces the
+// static latency + serialization formula for every remote message. The
+// scenario engine uses it to model latency/bandwidth ramps, jitter and
+// degraded links. Implementations must be deterministic functions of their
+// arguments and their own internal state — messages are posted in a
+// deterministic order, so a seeded stream drawn per message is fine.
+type Shaper interface {
+	// TransferTime returns the total delivery delay for a message of
+	// totalBytes (payload + header) posted at now from -> to. cfg is the
+	// network's static physical configuration. Negative results are
+	// clamped to zero by the caller.
+	TransferTime(now sim.Time, from, to NodeID, totalBytes int, cfg Config) sim.Time
+}
+
 // Stats aggregates per-category traffic.
 type Stats struct {
 	Bytes    [numCategories]int64
@@ -145,6 +159,7 @@ type Network struct {
 	stats    Stats
 	perNode  map[NodeID]*Stats
 	inFlight int
+	shaper   Shaper
 }
 
 // New creates a network over the engine with the given physical config.
@@ -180,6 +195,9 @@ func (n *Network) NodeStats(id NodeID) Stats {
 
 // InFlight reports messages sent but not yet delivered.
 func (n *Network) InFlight() int { return n.inFlight }
+
+// SetShaper installs (or, with nil, removes) a time-varying link model.
+func (n *Network) SetShaper(s Shaper) { n.shaper = s }
 
 // TransferTime computes latency + serialization delay for a payload size.
 func (n *Network) TransferTime(totalBytes int) sim.Time {
@@ -218,7 +236,11 @@ func (n *Network) post(msg *Message) {
 	total := msg.TotalBytes(n.cfg.HeaderBytes)
 	n.account(from, parts)
 	n.inFlight++
-	n.eng.After(n.TransferTime(total), func() {
+	delay := n.TransferTime(total)
+	if n.shaper != nil {
+		delay = n.shaper.TransferTime(n.eng.Now(), from, to, total, n.cfg)
+	}
+	n.eng.After(delay, func() {
 		n.inFlight--
 		msg.DeliveredAt = n.eng.Now()
 		n.deliver(msg)

@@ -1,0 +1,393 @@
+// Package scenario is the fault-injection scenario engine: it composes a
+// base workload run with a schedule of deterministic, seed-driven
+// perturbations, so the adaptive profilers can be validated under the
+// changing runtime conditions they exist to react to. A Scenario bundles
+// four perturbation vocabularies:
+//
+//   - CPU heterogeneity: per-node speed factors (slow nodes take
+//     proportionally longer per unit of nominal work), via the per-node
+//     clock-scaling hook sim.Resource.SetSpeed;
+//   - link ramps: latency and bandwidth factors varying linearly over a
+//     virtual-time window, via the network.Shaper hook;
+//   - jitter: seeded per-message latency noise, also via the Shaper;
+//   - transient slowdowns ("noisy neighbor"): a node drops to a fraction
+//     of its speed for a bounded episode, then recovers;
+//   - phase shifts: scheduled advances of the workload.Phase register that
+//     phase-aware workloads consult at round boundaries.
+//
+// Everything is a pure function of the scenario spec and its seed: messages
+// post in deterministic order, events fire in deterministic order, and the
+// jitter stream is a seeded SplitMix64 sequence — so a perturbed run is
+// exactly as reproducible as an unperturbed one (the golden-trace tests
+// assert byte-identical reports across repeats).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jessica2/internal/gos"
+	"jessica2/internal/network"
+	"jessica2/internal/sim"
+	"jessica2/internal/workload"
+	"jessica2/internal/xrand"
+)
+
+// RampParam selects which link parameter a Ramp modulates.
+type RampParam int
+
+const (
+	// RampLatency scales the one-way message latency.
+	RampLatency RampParam = iota
+	// RampBandwidth scales the link throughput (factors < 1 slow transfers).
+	RampBandwidth
+)
+
+func (p RampParam) String() string {
+	switch p {
+	case RampLatency:
+		return "latency"
+	case RampBandwidth:
+		return "bandwidth"
+	default:
+		return fmt.Sprintf("rampparam(%d)", int(p))
+	}
+}
+
+// Ramp varies one link parameter linearly from From× to To× of its
+// configured value over the virtual-time window [Start, End]; before Start
+// the factor is From, after End it stays at To. A degenerate window
+// (Start == End) is an instantaneous step change at Start.
+type Ramp struct {
+	Param      RampParam
+	Start, End sim.Time
+	From, To   float64
+}
+
+// factorAt evaluates the ramp at virtual time now.
+func (r Ramp) factorAt(now sim.Time) float64 {
+	switch {
+	case now < r.Start:
+		return r.From
+	case now >= r.End:
+		return r.To
+	}
+	frac := float64(now-r.Start) / float64(r.End-r.Start)
+	return r.From + (r.To-r.From)*frac
+}
+
+// Jitter adds seeded per-message latency noise uniform in [0, Amplitude).
+type Jitter struct {
+	Amplitude sim.Time
+	// Salt offsets the jitter stream from the scenario seed so distinct
+	// jitter specs under one seed draw independent streams.
+	Salt uint64
+}
+
+// Slowdown is a transient noisy-neighbor episode: the node's CPU drops to
+// Factor of its (possibly heterogeneous) base speed at At and recovers
+// Duration later. Episodes on the same node should not overlap — recovery
+// restores the base speed, not the pre-episode speed.
+type Slowdown struct {
+	Node         int
+	At, Duration sim.Time
+	Factor       float64
+}
+
+// PhaseShift advances the workload phase register at a virtual time.
+type PhaseShift struct {
+	At    sim.Time
+	Phase int
+}
+
+// Scenario is one composed perturbation schedule.
+type Scenario struct {
+	Name string
+	// Seed drives all scenario randomness (currently the jitter stream).
+	Seed uint64
+
+	// CPUFactors is the per-node relative speed (1.0 = nominal); missing
+	// trailing nodes default to 1.0. This is the heterogeneous-cluster
+	// perturbation.
+	CPUFactors  []float64
+	Ramps       []Ramp
+	Jitter      *Jitter
+	Slowdowns   []Slowdown
+	PhaseShifts []PhaseShift
+}
+
+// Kinds lists the perturbation kinds the scenario carries, sorted.
+func (sc *Scenario) Kinds() []string {
+	var out []string
+	if len(sc.CPUFactors) > 0 {
+		out = append(out, "cpu-heterogeneity")
+	}
+	for _, r := range sc.Ramps {
+		out = append(out, r.Param.String()+"-ramp")
+	}
+	if sc.Jitter != nil {
+		out = append(out, "jitter")
+	}
+	if len(sc.Slowdowns) > 0 {
+		out = append(out, "transient-slowdown")
+	}
+	if len(sc.PhaseShifts) > 0 {
+		out = append(out, "phase-shift")
+	}
+	sort.Strings(out)
+	uniq := out[:0]
+	for i, k := range out {
+		if i == 0 || out[i-1] != k {
+			uniq = append(uniq, k)
+		}
+	}
+	return uniq
+}
+
+// String renders a one-line description.
+func (sc *Scenario) String() string {
+	if sc == nil {
+		return "none"
+	}
+	name := sc.Name
+	if name == "" {
+		name = "scenario"
+	}
+	return fmt.Sprintf("%s{%s}", name, strings.Join(sc.Kinds(), ","))
+}
+
+// Validate checks the scenario against a cluster size.
+func (sc *Scenario) Validate(nodes int) error {
+	for i, f := range sc.CPUFactors {
+		if f <= 0 {
+			return fmt.Errorf("scenario: CPU factor %g for node %d must be positive", f, i)
+		}
+	}
+	if len(sc.CPUFactors) > nodes {
+		return fmt.Errorf("scenario: %d CPU factors for %d nodes", len(sc.CPUFactors), nodes)
+	}
+	for _, r := range sc.Ramps {
+		if r.From <= 0 || r.To <= 0 {
+			return fmt.Errorf("scenario: ramp factors must be positive (got %g -> %g)", r.From, r.To)
+		}
+		if r.Start < 0 || r.End < r.Start {
+			return fmt.Errorf("scenario: ramp window [%v, %v] invalid", r.Start, r.End)
+		}
+	}
+	if sc.Jitter != nil && sc.Jitter.Amplitude < 0 {
+		return fmt.Errorf("scenario: negative jitter amplitude %v", sc.Jitter.Amplitude)
+	}
+	for _, s := range sc.Slowdowns {
+		if s.Node < 0 || s.Node >= nodes {
+			return fmt.Errorf("scenario: slowdown on node %d of %d", s.Node, nodes)
+		}
+		if s.Factor <= 0 {
+			return fmt.Errorf("scenario: slowdown factor %g must be positive", s.Factor)
+		}
+		if s.At < 0 || s.Duration <= 0 {
+			return fmt.Errorf("scenario: slowdown window at=%v dur=%v invalid", s.At, s.Duration)
+		}
+	}
+	for _, p := range sc.PhaseShifts {
+		if p.At < 0 {
+			return fmt.Errorf("scenario: phase shift at negative time %v", p.At)
+		}
+	}
+	return nil
+}
+
+// baseFactor is a node's heterogeneous base speed.
+func (sc *Scenario) baseFactor(node int) float64 {
+	if node < len(sc.CPUFactors) {
+		return sc.CPUFactors[node]
+	}
+	return 1
+}
+
+// Apply installs the scenario into a freshly built kernel: CPU factors and
+// slowdown episodes onto node CPU resources, the link shaper onto the
+// network, and phase shifts onto the phase register (which may be nil when
+// no workload consults it). Call before k.Run(), normally at virtual time
+// zero; it panics if the scenario does not validate against the cluster.
+func (sc *Scenario) Apply(k *gos.Kernel, ph *workload.Phase) {
+	if sc == nil {
+		return
+	}
+	if err := sc.Validate(k.NumNodes()); err != nil {
+		panic(err)
+	}
+	for i, f := range sc.CPUFactors {
+		k.Node(i).CPU().SetSpeed(f)
+	}
+	for _, s := range sc.Slowdowns {
+		s := s
+		cpu := k.Node(s.Node).CPU()
+		base := sc.baseFactor(s.Node)
+		k.Eng.Schedule(s.At, func() { cpu.SetSpeed(base * s.Factor) })
+		k.Eng.Schedule(s.At+s.Duration, func() { cpu.SetSpeed(base) })
+	}
+	if len(sc.Ramps) > 0 || sc.Jitter != nil {
+		sh := &shaper{ramps: sc.Ramps}
+		if sc.Jitter != nil && sc.Jitter.Amplitude > 0 {
+			sh.jitterAmp = sc.Jitter.Amplitude
+			sh.rng = xrand.New(sc.Seed).Derive(sc.Jitter.Salt + 0x9e77)
+		}
+		k.Net.SetShaper(sh)
+	}
+	if ph != nil {
+		for _, p := range sc.PhaseShifts {
+			p := p
+			k.Eng.Schedule(p.At, func() { ph.Set(p.Phase) })
+		}
+	}
+}
+
+// shaper implements network.Shaper from the scenario's ramps and jitter.
+type shaper struct {
+	ramps     []Ramp
+	jitterAmp sim.Time
+	rng       *xrand.Rand
+}
+
+var _ network.Shaper = (*shaper)(nil)
+
+// TransferTime recomputes latency + serialization under the factors active
+// at now, then adds one jitter draw. Factors of stacked ramps on the same
+// parameter multiply.
+func (s *shaper) TransferTime(now sim.Time, from, to network.NodeID, totalBytes int, cfg network.Config) sim.Time {
+	latF, bwF := 1.0, 1.0
+	for _, r := range s.ramps {
+		switch r.Param {
+		case RampLatency:
+			latF *= r.factorAt(now)
+		case RampBandwidth:
+			bwF *= r.factorAt(now)
+		}
+	}
+	lat := sim.Time(float64(cfg.Latency)*latF + 0.5)
+	ser := sim.Time(float64(totalBytes) * float64(sim.Second) / (float64(cfg.BandwidthBytesPerSec) * bwF))
+	d := lat + ser
+	if s.rng != nil {
+		d += sim.Time(s.rng.Uint64() % uint64(s.jitterAmp))
+	}
+	return d
+}
+
+// Merge composes several scenarios into one named schedule. The first
+// non-nil jitter wins; CPU factor tables multiply elementwise (padding with
+// 1.0); everything else concatenates.
+func Merge(name string, seed uint64, parts ...*Scenario) *Scenario {
+	out := &Scenario{Name: name, Seed: seed}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if len(p.CPUFactors) > len(out.CPUFactors) {
+			grown := make([]float64, len(p.CPUFactors))
+			for i := range grown {
+				grown[i] = 1
+			}
+			copy(grown, out.CPUFactors)
+			out.CPUFactors = grown
+		}
+		for i, f := range p.CPUFactors {
+			out.CPUFactors[i] *= f
+		}
+		out.Ramps = append(out.Ramps, p.Ramps...)
+		if out.Jitter == nil && p.Jitter != nil {
+			j := *p.Jitter
+			out.Jitter = &j
+		}
+		out.Slowdowns = append(out.Slowdowns, p.Slowdowns...)
+		out.PhaseShifts = append(out.PhaseShifts, p.PhaseShifts...)
+	}
+	return out
+}
+
+// PresetNames lists the built-in scenario vocabulary.
+var PresetNames = []string{"hetero", "ramp", "jitter", "noisy", "phased", "storm"}
+
+// Preset builds one of the named scenarios for a cluster of the given size.
+// Presets are seed-driven where randomness is involved (heterogeneous
+// factors, jitter stream), so the same (name, nodes, seed) triple always
+// yields the same schedule.
+func Preset(name string, nodes int, seed uint64) (*Scenario, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("scenario: preset needs a positive node count")
+	}
+	switch strings.ToLower(name) {
+	case "hetero":
+		// Heterogeneous cluster: node 0 (the master JVM) stays nominal,
+		// workers get seeded speeds in [0.55, 0.95).
+		rng := xrand.New(seed).Derive(101)
+		f := make([]float64, nodes)
+		f[0] = 1
+		for i := 1; i < nodes; i++ {
+			f[i] = 0.55 + 0.4*rng.Float64()
+		}
+		return &Scenario{Name: "hetero", Seed: seed, CPUFactors: f}, nil
+	case "ramp":
+		// Congestion building up: latency quadruples and bandwidth halves
+		// over the first 1.5 s of the run.
+		return &Scenario{Name: "ramp", Seed: seed, Ramps: []Ramp{
+			{Param: RampLatency, Start: 100 * sim.Millisecond, End: 1500 * sim.Millisecond, From: 1, To: 4},
+			{Param: RampBandwidth, Start: 100 * sim.Millisecond, End: 1500 * sim.Millisecond, From: 1, To: 0.5},
+		}}, nil
+	case "jitter":
+		// Per-message latency noise up to 2x the Fast Ethernet base latency.
+		return &Scenario{Name: "jitter", Seed: seed,
+			Jitter: &Jitter{Amplitude: 240 * sim.Microsecond}}, nil
+	case "noisy":
+		// Noisy neighbors: two staggered transient slowdowns plus a relapse.
+		n1, n2 := 1%nodes, 2%nodes
+		return &Scenario{Name: "noisy", Seed: seed, Slowdowns: []Slowdown{
+			{Node: n1, At: 150 * sim.Millisecond, Duration: 400 * sim.Millisecond, Factor: 0.30},
+			{Node: n2, At: 700 * sim.Millisecond, Duration: 400 * sim.Millisecond, Factor: 0.25},
+			{Node: n1, At: 1400 * sim.Millisecond, Duration: 300 * sim.Millisecond, Factor: 0.35},
+		}}, nil
+	case "phased":
+		// Workload phase shifts every 120 ms for phase-aware workloads.
+		var shifts []PhaseShift
+		for i := 1; i <= 8; i++ {
+			shifts = append(shifts, PhaseShift{At: sim.Time(i) * 120 * sim.Millisecond, Phase: i})
+		}
+		return &Scenario{Name: "phased", Seed: seed, PhaseShifts: shifts}, nil
+	case "storm":
+		// Everything at once.
+		var parts []*Scenario
+		for _, n := range []string{"hetero", "ramp", "jitter", "noisy", "phased"} {
+			p, err := Preset(n, nodes, seed)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		return Merge("storm", seed, parts...), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown preset %q (have %s)", name, strings.Join(PresetNames, ", "))
+	}
+}
+
+// Parse builds a scenario from a comma-separated list of preset names
+// (merged in order). "", "none" and "off" yield nil.
+func Parse(spec string, nodes int, seed uint64) (*Scenario, error) {
+	spec = strings.TrimSpace(spec)
+	switch strings.ToLower(spec) {
+	case "", "none", "off":
+		return nil, nil
+	}
+	names := strings.Split(spec, ",")
+	if len(names) == 1 {
+		return Preset(names[0], nodes, seed)
+	}
+	parts := make([]*Scenario, 0, len(names))
+	for _, n := range names {
+		p, err := Preset(strings.TrimSpace(n), nodes, seed)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return Merge(spec, seed, parts...), nil
+}

@@ -299,14 +299,20 @@ func (p *Proc) Wake() {
 	p.eng.Schedule(p.eng.now, p.wakeFn)
 }
 
-// Use occupies r exclusively for d of virtual time, queuing FIFO behind
-// other users. It models non-preemptive execution on a serially shared
-// resource such as a single-core CPU.
+// Use occupies r exclusively for a nominal duration d of work, queuing FIFO
+// behind other users. It models non-preemptive execution on a serially
+// shared resource such as a single-core CPU. The occupied virtual time is
+// d scaled by the resource's current speed factor (slow nodes take longer
+// to perform the same nominal work).
 func (p *Proc) Use(r *Resource, d Time) {
 	if d < 0 {
 		panic("sim: negative use")
 	}
 	r.Acquire(p)
+	// Scale after acquiring: work queued behind a busy resource runs at
+	// the speed in effect when its slice actually starts, so a slowdown
+	// episode beginning while the proc waited is charged correctly.
+	d = r.scale(d)
 	p.Sleep(d)
 	r.Release(p)
 	p.CPUTime += d
@@ -322,11 +328,45 @@ type Resource struct {
 	Busy        Time
 	acquiredAt  Time
 	utilization bool
+
+	// speed is the resource's relative service rate: nominal work d
+	// occupies d/speed of virtual time. 0 means the default 1.0. It is the
+	// per-node clock-scaling hook the scenario engine uses to model
+	// heterogeneous clusters and transient noisy-neighbor slowdowns.
+	speed float64
 }
 
 // NewResource creates a named resource on e.
 func NewResource(e *Engine, name string) *Resource {
 	return &Resource{eng: e, name: name}
+}
+
+// SetSpeed installs a relative service rate: 1.0 is nominal, 0.5 makes the
+// resource take twice the virtual time per unit of nominal work. Changing
+// the speed affects subsequent Use calls only (a slice already in progress
+// completes at the old rate). Non-positive factors panic.
+func (r *Resource) SetSpeed(factor float64) {
+	if factor <= 0 {
+		panic("sim: non-positive resource speed")
+	}
+	r.speed = factor
+}
+
+// Speed reports the current speed factor (1.0 when never set).
+func (r *Resource) Speed() float64 {
+	if r.speed == 0 {
+		return 1
+	}
+	return r.speed
+}
+
+// scale converts nominal work into occupied virtual time under the current
+// speed factor, rounding to the nearest nanosecond.
+func (r *Resource) scale(d Time) Time {
+	if r.speed == 0 || r.speed == 1 {
+		return d
+	}
+	return Time(float64(d)/r.speed + 0.5)
 }
 
 // Acquire takes exclusive ownership, blocking FIFO if held.

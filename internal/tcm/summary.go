@@ -70,7 +70,8 @@ func (b *Builder) Summarize() *Summary {
 
 // IngestSummary merges a worker summary into the builder (the master-side
 // half). Thread sets union; the larger byte estimate wins, matching
-// AddAccess semantics.
+// AddAccess semantics — including its rejection of malformed out-of-range
+// thread ids.
 func (b *Builder) IngestSummary(s *Summary) {
 	for _, o := range s.Objs {
 		oe := b.objs[o.Key]
@@ -87,6 +88,10 @@ func (b *Builder) IngestSummary(s *Summary) {
 			oe.bytes = o.Bytes
 		}
 		for _, t := range o.Threads {
+			if t < 0 || int(t) >= b.n {
+				b.cost.DroppedEntries++
+				continue
+			}
 			oe.threads[int(t)] = struct{}{}
 		}
 		b.cost.Entries += len(o.Threads)

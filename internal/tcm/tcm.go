@@ -172,6 +172,9 @@ type BuildCost struct {
 	Entries  int
 	Objects  int   // M: distinct objects seen
 	PairAdds int64 // realized accrual operations
+	// DroppedEntries counts malformed entries (thread id out of range)
+	// rejected at ingestion.
+	DroppedEntries int64
 }
 
 // Builder is the correlation-computing daemon state: it ingests OAL batches
@@ -223,7 +226,14 @@ func (b *Builder) IngestRecord(r *oal.Record) {
 // logged weight. The weight of the first log wins (all threads log the same
 // amortized size for the same object at the same gap); larger weights
 // replace smaller ones so that re-logging at a finer gap upgrades the entry.
+// Records arrive over the network, so a malformed thread id outside [0, n)
+// must not crash the daemon: such entries are dropped (counted in
+// DroppedEntries).
 func (b *Builder) AddAccess(t int, key int64, bytes float64) {
+	if t < 0 || t >= b.n {
+		b.cost.DroppedEntries++
+		return
+	}
 	oe := b.objs[key]
 	if oe == nil {
 		if n := len(b.free); n > 0 {

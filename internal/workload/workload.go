@@ -14,6 +14,26 @@ import (
 	"jessica2/internal/gos"
 )
 
+// Phase is a shared phase register: the scenario engine advances it at
+// scheduled virtual times and phase-aware workloads read it at round
+// boundaries to shift their behavior (hot sets, mix ratios). Reads and
+// writes happen under the simulation scheduler, so no locking is needed
+// and same-seed runs observe identical phase sequences.
+type Phase struct {
+	v int
+}
+
+// Set installs the current phase number.
+func (p *Phase) Set(v int) { p.v = v }
+
+// Current returns the phase number; a nil register reads as phase 0.
+func (p *Phase) Current() int {
+	if p == nil {
+		return 0
+	}
+	return p.v
+}
+
 // Params configures one workload launch.
 type Params struct {
 	// Threads is the worker thread count.
@@ -23,6 +43,10 @@ type Params struct {
 	Placement []int
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Phase, when non-nil, is the externally driven phase register
+	// (normally installed by the scenario engine). Phase-aware workloads
+	// consult it at round boundaries; others ignore it.
+	Phase *Phase
 }
 
 // placement resolves the effective thread→node map.

@@ -40,6 +40,7 @@ import (
 	"jessica2/internal/migration"
 	"jessica2/internal/network"
 	"jessica2/internal/sampling"
+	"jessica2/internal/scenario"
 	"jessica2/internal/sim"
 	"jessica2/internal/stack"
 	"jessica2/internal/sticky"
@@ -143,6 +144,10 @@ type (
 	WaterSpatial = workload.WaterSpatial
 	// Synthetic is the configurable microbenchmark.
 	Synthetic = workload.Synthetic
+	// LU is the SPLASH-2 blocked dense LU factorization kernel.
+	LU = workload.LU
+	// KVMix is the phase-shifting key-value transaction mix.
+	KVMix = workload.KVMix
 )
 
 // Workload constructors (paper-scale defaults).
@@ -152,7 +157,43 @@ var (
 	NewBarnesHut    = workload.NewBarnesHut
 	NewWaterSpatial = workload.NewWaterSpatial
 	NewSynthetic    = workload.NewSynthetic
+	NewLU           = workload.NewLU
+	NewLUSmall      = workload.NewLUSmall
+	NewKVMix        = workload.NewKVMix
 )
+
+// --- scenario engine ---------------------------------------------------------
+
+// Scenario is a deterministic, seed-driven perturbation schedule (CPU
+// heterogeneity, link ramps, jitter, transient slowdowns, phase shifts)
+// composed with a base workload run; see package scenario.
+type Scenario = scenario.Scenario
+
+// ScenarioRamp, ScenarioJitter, ScenarioSlowdown and ScenarioPhaseShift are
+// the perturbation vocabulary of a Scenario.
+type (
+	ScenarioRamp       = scenario.Ramp
+	ScenarioJitter     = scenario.Jitter
+	ScenarioSlowdown   = scenario.Slowdown
+	ScenarioPhaseShift = scenario.PhaseShift
+)
+
+// Ramp parameters.
+const (
+	RampLatency   = scenario.RampLatency
+	RampBandwidth = scenario.RampBandwidth
+)
+
+// ScenarioPreset builds one of the named built-in scenarios; ParseScenario
+// accepts comma-separated preset lists ("hetero,jitter"). See
+// scenario.PresetNames for the vocabulary.
+var (
+	ScenarioPreset = scenario.Preset
+	ParseScenario  = scenario.Parse
+)
+
+// Phase is the workload phase register the scenario engine drives.
+type Phase = workload.Phase
 
 // Profiling config helpers.
 var (
@@ -187,6 +228,10 @@ type Config struct {
 	Network network.Config
 	// Costs overrides the CPU cost model (zero value = defaults).
 	Costs gos.CostModel
+	// Scenario, when non-nil, perturbs the run with the fault-injection
+	// scenario engine (heterogeneous CPUs, link ramps, jitter, transient
+	// slowdowns, workload phase shifts). Same-seed runs stay deterministic.
+	Scenario *Scenario
 }
 
 // DefaultConfig mirrors the paper's 8-node Fast Ethernet testbed with
@@ -203,6 +248,8 @@ func DefaultConfig() Config {
 type System struct {
 	k        *gos.Kernel
 	profiler *core.Profiler
+	phase    *workload.Phase
+	scripted bool // a scenario drives the phase register
 	loads    []Workload
 	ran      bool
 	execTime Time
@@ -223,17 +270,32 @@ func New(cfg Config) *System {
 	if cfg.Costs.CheckCost > 0 {
 		kcfg.Costs = cfg.Costs
 	}
-	return &System{k: gos.NewKernel(kcfg)}
+	s := &System{k: gos.NewKernel(kcfg), phase: new(workload.Phase)}
+	if cfg.Scenario != nil {
+		s.scripted = true
+		cfg.Scenario.Apply(s.k, s.phase)
+	}
+	return s
 }
 
 // Kernel exposes the underlying DJVM (advanced use: allocation, custom
 // threads, migration).
 func (s *System) Kernel() *Kernel { return s.k }
 
-// Launch registers a workload's classes and spawns its threads.
+// Phase exposes the workload phase register the scenario engine drives.
+func (s *System) Phase() *Phase { return s.phase }
+
+// Launch registers a workload's classes and spawns its threads. When a
+// scenario drives the system and the caller installed no register of its
+// own, the system's phase register rides along so phase-aware workloads
+// follow the scenario's phase shifts (without a scenario, workloads keep
+// their intrinsic phase schedules).
 func (s *System) Launch(w Workload, p Params) *System {
 	if s.ran {
 		panic("jessica2: Launch after Run")
+	}
+	if p.Phase == nil && s.scripted {
+		p.Phase = s.phase
 	}
 	w.Launch(s.k, p)
 	s.loads = append(s.loads, w)
