@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test test-race bench clean
+.PHONY: verify build vet test test-race bench demo-closedloop clean
 
 verify: build vet test
 
@@ -27,6 +27,12 @@ test-race:
 bench:
 	go test -bench=. -benchmem -run '^$$' ./...
 	go run ./cmd/djvmbench -benchjson $(BENCH) -scale $(SCALE)
+
+# demo-closedloop runs the closed-loop session demo: KVMix under the phased
+# scenario, rebalance policy over 8 epochs, baseline vs closed-loop exec
+# times printed head to head (see EXPERIMENTS.md, Figure CL).
+demo-closedloop:
+	go run ./cmd/djvmrun -app kv -scenario phased -policy rebalance -epochs 8 -tcm=false
 
 clean:
 	rm -f BENCH_current.json

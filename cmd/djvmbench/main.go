@@ -62,6 +62,7 @@ func writeBenchJSON(path string, sc experiments.Scale) error {
 		{"Fig9", func() { experiments.Fig9(sc) }},
 		{"Fig1", func() { experiments.Fig1(sc) }},
 		{"FigS", func() { experiments.FigS(sc) }},
+		{"FigCL", func() { experiments.FigCL(sc) }},
 	}
 	report := benchReport{Scale: int(sc), GoVersion: runtime.Version()}
 	for _, c := range cases {
@@ -92,6 +93,7 @@ func main() {
 		table     = flag.Int("table", 0, "regenerate table N (1-5)")
 		fig       = flag.Int("fig", 0, "regenerate figure N (1 or 9)")
 		figS      = flag.Bool("figS", false, "regenerate Figure S (scenario sensitivity sweep)")
+		figCL     = flag.Bool("figCL", false, "regenerate Figure CL (closed-loop adaptation sweep)")
 		all       = flag.Bool("all", false, "regenerate everything")
 		scale     = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -107,7 +109,7 @@ func main() {
 		fmt.Println("wrote", *benchjson)
 		return
 	}
-	if !*all && *table == 0 && *fig == 0 && !*figS {
+	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -153,5 +155,8 @@ func main() {
 	}
 	if *all || *figS {
 		run("Figure S", func() { emit(experiments.FigS(sc).Table()) })
+	}
+	if *all || *figCL {
+		run("Figure CL", func() { emit(experiments.FigCL(sc).Table()) })
 	}
 }

@@ -9,15 +9,22 @@
 //	djvmrun -app water -adaptive
 //	djvmrun -app kv -adaptive -scenario phased
 //	djvmrun -app lu -scenario hetero,noisy,jitter -scenario-seed 7
+//	djvmrun -app kv -scenario phased -policy rebalance -epochs 8
 //
 // The -scenario flag injects fault-injection perturbation schedules
 // (comma-separated presets: hetero, ramp, jitter, noisy, phased, storm)
 // composed by the scenario engine; runs stay deterministic per seed.
+//
+// The -policy flag turns the run into a closed-loop session: a pilot run
+// measures the baseline execution time, the run is split into -epochs
+// epochs (or stepped every -epoch if given), and the policy observes and
+// acts at every epoch boundary. Both execution times are reported.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,121 +32,276 @@ import (
 	"jessica2"
 )
 
-func main() {
-	var (
-		app       = flag.String("app", "sor", "benchmark: sor | bh | water | synth | lu | kv")
-		nodes     = flag.Int("nodes", 8, "cluster nodes")
-		threads   = flag.Int("threads", 8, "worker threads")
-		seed      = flag.Uint64("seed", 42, "workload seed")
-		rateStr   = flag.String("rate", "full", "sampling rate: off | full | <n> (nX)")
-		adaptive  = flag.Bool("adaptive", false, "enable the adaptive rate controller")
-		stackProf = flag.Bool("stack", false, "enable stack sampling (16ms, lazy)")
-		footprint = flag.Bool("footprint", false, "enable sticky-set footprinting")
-		showTCM   = flag.Bool("tcm", true, "print the thread correlation map")
-		plan      = flag.Bool("plan", false, "print a correlation-driven placement plan")
-		scenSpec  = flag.String("scenario", "none", "fault-injection scenario presets, comma-separated: hetero | ramp | jitter | noisy | phased | storm")
-		scenSeed  = flag.Uint64("scenario-seed", 0, "scenario seed (0 = workload seed)")
-	)
-	flag.Parse()
+// runConfig is one fully parsed and validated invocation.
+type runConfig struct {
+	app       string
+	nodes     int
+	threads   int
+	seed      uint64
+	rate      jessica2.Rate
+	adaptive  bool
+	stackProf bool
+	footprint bool
+	showTCM   bool
+	plan      bool
+	scenSpec  string
+	scenario  *jessica2.Scenario
+	policy    jessica2.Policy
+	policyTag string
+	epochs    int
+	epoch     jessica2.Time
+}
 
-	var w jessica2.Workload
-	switch strings.ToLower(*app) {
+// newWorkload instantiates the named benchmark (fresh instance per call so
+// pilot and policy runs never share workload state).
+func newWorkload(app string) (jessica2.Workload, error) {
+	switch strings.ToLower(app) {
 	case "sor":
-		w = jessica2.NewSOR()
+		return jessica2.NewSOR(), nil
 	case "bh", "barnes-hut", "barneshut":
-		w = jessica2.NewBarnesHut()
+		return jessica2.NewBarnesHut(), nil
 	case "water", "ws", "water-spatial":
-		w = jessica2.NewWaterSpatial()
+		return jessica2.NewWaterSpatial(), nil
 	case "synth", "synthetic":
-		w = jessica2.NewSynthetic()
+		return jessica2.NewSynthetic(), nil
 	case "lu":
-		w = jessica2.NewLU()
+		return jessica2.NewLU(), nil
 	case "kv", "kvmix":
-		w = jessica2.NewKVMix()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
-		os.Exit(2)
+		return jessica2.NewKVMix(), nil
 	}
+	return nil, fmt.Errorf("unknown app %q", app)
+}
 
-	var rate jessica2.Rate
+// newPolicy resolves a -policy name.
+func newPolicy(name string) (jessica2.Policy, error) {
+	switch strings.ToLower(name) {
+	case "", "none", "off":
+		return nil, nil
+	case "nop":
+		return jessica2.NopPolicy{}, nil
+	case "rebalance":
+		return jessica2.NewRebalancePolicy(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (have none, nop, rebalance)", name)
+}
+
+// parseArgs parses and validates a full command line (excluding argv[0]).
+func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
+	fs := flag.NewFlagSet("djvmrun", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		app       = fs.String("app", "sor", "benchmark: sor | bh | water | synth | lu | kv")
+		nodes     = fs.Int("nodes", 8, "cluster nodes")
+		threads   = fs.Int("threads", 8, "worker threads")
+		seed      = fs.Uint64("seed", 42, "workload seed")
+		rateStr   = fs.String("rate", "full", "sampling rate: off | full | <n> (nX)")
+		adaptive  = fs.Bool("adaptive", false, "enable the adaptive rate controller")
+		stackProf = fs.Bool("stack", false, "enable stack sampling (16ms, lazy)")
+		footprint = fs.Bool("footprint", false, "enable sticky-set footprinting")
+		showTCM   = fs.Bool("tcm", true, "print the thread correlation map")
+		plan      = fs.Bool("plan", false, "print a correlation-driven placement plan")
+		scenSpec  = fs.String("scenario", "none", "fault-injection scenario presets, comma-separated: hetero | ramp | jitter | noisy | phased | storm")
+		scenSeed  = fs.Uint64("scenario-seed", 0, "scenario seed (0 = workload seed)")
+		policy    = fs.String("policy", "none", "closed-loop policy: none | nop | rebalance")
+		epochs    = fs.Int("epochs", 8, "closed-loop epoch count (epoch length = baseline exec / epochs)")
+		epoch     = fs.Duration("epoch", 0, "explicit closed-loop epoch length (overrides -epochs; skips the pilot run)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	rc := &runConfig{
+		app: *app, nodes: *nodes, threads: *threads, seed: *seed,
+		adaptive: *adaptive, stackProf: *stackProf, footprint: *footprint,
+		showTCM: *showTCM, plan: *plan, scenSpec: *scenSpec,
+		policyTag: strings.ToLower(*policy),
+		epochs:    *epochs, epoch: jessica2.Time(epoch.Nanoseconds()),
+	}
+	if _, err := newWorkload(rc.app); err != nil {
+		return nil, err
+	}
+	if rc.nodes < 1 {
+		return nil, fmt.Errorf("need at least one node, got %d", rc.nodes)
+	}
+	if rc.threads < 1 {
+		return nil, fmt.Errorf("need at least one thread, got %d", rc.threads)
+	}
 	switch strings.ToLower(*rateStr) {
 	case "off", "0":
-		rate = 0
+		rc.rate = 0
 	case "full":
-		rate = jessica2.FullRate
+		rc.rate = jessica2.FullRate
 	default:
 		n, err := strconv.Atoi(*rateStr)
 		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "bad rate %q\n", *rateStr)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad rate %q", *rateStr)
 		}
-		rate = jessica2.Rate(n)
-	}
-
-	cfg := jessica2.DefaultConfig()
-	cfg.Nodes = *nodes
-	if rate == 0 {
-		cfg.Tracking = jessica2.TrackingOff
+		rc.rate = jessica2.Rate(n)
 	}
 	ss := *scenSeed
 	if ss == 0 {
-		ss = *seed
+		ss = rc.seed
 	}
-	scen, err := jessica2.ParseScenario(*scenSpec, *nodes, ss)
+	scen, err := jessica2.ParseScenario(rc.scenSpec, rc.nodes, ss)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return nil, err
 	}
-	cfg.Scenario = scen
-	sys := jessica2.New(cfg)
-	sys.Launch(w, jessica2.Params{Threads: *threads, Seed: *seed})
+	rc.scenario = scen
+	if rc.policy, err = newPolicy(rc.policyTag); err != nil {
+		return nil, err
+	}
+	if rc.policy != nil && rc.epoch <= 0 && rc.epochs < 1 {
+		return nil, fmt.Errorf("-policy %s needs -epochs >= 1 or an explicit -epoch", rc.policyTag)
+	}
+	if rc.epoch < 0 {
+		return nil, fmt.Errorf("negative -epoch")
+	}
+	return rc, nil
+}
 
-	pc := jessica2.ProfileConfig{Rate: rate}
-	if *adaptive {
+// buildSession assembles one session for the config; policy installs the
+// closed-loop controller (nil = plain run) with the given epoch length.
+func (rc *runConfig) buildSession(policy jessica2.Policy, epoch jessica2.Time) (*jessica2.Session, *jessica2.Profiler, error) {
+	cfg := jessica2.DefaultConfig()
+	cfg.Nodes = rc.nodes
+	cfg.Epoch = epoch
+	if rc.rate == 0 {
+		cfg.Tracking = jessica2.TrackingOff
+	}
+	cfg.Scenario = rc.scenario
+	sess := jessica2.NewSession(cfg)
+	w, err := newWorkload(rc.app)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sess.Launch(w, jessica2.Params{Threads: rc.threads, Seed: rc.seed}); err != nil {
+		return nil, nil, err
+	}
+	pc := jessica2.ProfileConfig{Rate: rc.rate}
+	if rc.adaptive {
 		ac := jessica2.DefaultAdaptiveConfig()
 		pc.Adaptive = &ac
 		pc.Rate = 0
 	}
-	if *stackProf {
+	if rc.stackProf {
 		sc := jessica2.DefaultStackConfig()
 		pc.Stack = &sc
 	}
-	if *footprint {
+	if rc.footprint {
 		pc.Footprint = &jessica2.FootprintConfig{FootprinterConfig: jessica2.DefaultFootprinter()}
 	}
-	prof := sys.AttachProfiling(pc)
-
-	rep := sys.Run()
-	fmt.Printf("%s on %d nodes, %d threads (scenario: %s)\n\n%s\n", w.Name(), *nodes, *threads, scen, rep)
-
-	if *adaptive {
-		fmt.Println("adaptive controller trace:")
-		for _, rc := range prof.RateTrace() {
-			fmt.Printf("  t=%v  %v -> %v  distance=%.4f converged=%v (resampled %d)\n",
-				rc.At, rc.From, rc.To, rc.Distance, rc.Converged, rc.Resampled)
-		}
-		fmt.Println()
+	prof, err := sess.AttachProfiling(pc)
+	if err != nil {
+		return nil, nil, err
 	}
-	if *footprint {
-		fmt.Println("sticky-set footprints (thread 0):")
+	if policy != nil {
+		if err := sess.SetPolicy(policy); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sess, prof, nil
+}
+
+// execute runs the parsed invocation, writing the report to out.
+func (rc *runConfig) execute(out io.Writer) error {
+	scenName := "none"
+	if rc.scenario != nil {
+		scenName = rc.scenario.String()
+	}
+
+	epoch := rc.epoch
+	if rc.policy != nil && epoch <= 0 {
+		// Pilot run: measure the baseline to calibrate the epoch length.
+		pilot, _, err := rc.buildSession(nil, 0)
+		if err != nil {
+			return err
+		}
+		rep, err := pilot.Run()
+		if err != nil {
+			return err
+		}
+		epoch = rep.ExecTime() / jessica2.Time(rc.epochs)
+		if epoch <= 0 {
+			epoch = jessica2.Millisecond
+		}
+		fmt.Fprintf(out, "pilot (no policy): exec %v -> epoch %v over %d epochs\n\n",
+			rep.ExecTime(), epoch, rc.epochs)
+	}
+
+	sess, prof, err := rc.buildSession(rc.policy, epoch)
+	if err != nil {
+		return err
+	}
+	rep, err := sess.Run()
+	if err != nil {
+		return err
+	}
+	w, err := newWorkload(rc.app)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s on %d nodes, %d threads (scenario: %s)\n\n%s\n",
+		w.Name(), rc.nodes, rc.threads, scenName, rep)
+
+	if rc.policy != nil {
+		var applied []jessica2.AppliedAction
+		for _, a := range sess.Actions() {
+			if a.Note == "" {
+				applied = append(applied, a)
+			}
+		}
+		fmt.Fprintf(out, "closed-loop policy %q: %d epochs, %d actions applied\n",
+			rc.policy.Name(), sess.Epochs(), len(applied))
+		const maxShown = 12
+		for i, a := range applied {
+			if i == maxShown {
+				fmt.Fprintf(out, "  ... (%d more)\n", len(applied)-maxShown)
+				break
+			}
+			fmt.Fprintf(out, "  epoch %2d t=%v  %v\n", a.Epoch, a.At, a.Action)
+		}
+		fmt.Fprintln(out)
+	}
+	if rc.adaptive {
+		fmt.Fprintln(out, "adaptive controller trace:")
+		for _, rcg := range prof.RateTrace() {
+			fmt.Fprintf(out, "  t=%v  %v -> %v  distance=%.4f converged=%v (resampled %d)\n",
+				rcg.At, rcg.From, rcg.To, rcg.Distance, rcg.Converged, rcg.Resampled)
+		}
+		fmt.Fprintln(out)
+	}
+	if rc.footprint {
+		fmt.Fprintln(out, "sticky-set footprints (thread 0):")
 		fp := prof.Footprint(0)
 		for _, c := range fp.Classes() {
-			fmt.Printf("  %-10s %8d bytes\n", c, fp[c])
+			fmt.Fprintf(out, "  %-10s %8d bytes\n", c, fp[c])
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
-	if *showTCM && rate != 0 {
-		fmt.Println("thread correlation map:")
-		fmt.Println(rep.TCM())
+	if rc.showTCM && rc.rate != 0 {
+		fmt.Fprintln(out, "thread correlation map:")
+		fmt.Fprintln(out, rep.TCM())
 	}
-	if *plan && rate != 0 {
+	if rc.plan && rc.rate != 0 {
 		m := rep.TCM()
-		cur := jessica2.BlockedPlacement(*threads, *nodes)
-		next, moves := jessica2.PlanPlacement(m, cur, *nodes)
-		fmt.Printf("placement plan: cross-volume %.0f -> %.0f bytes\n",
+		cur := jessica2.BlockedPlacement(rc.threads, rc.nodes)
+		next, moves := jessica2.PlanPlacement(m, cur, rc.nodes)
+		fmt.Fprintf(out, "placement plan: cross-volume %.0f -> %.0f bytes\n",
 			jessica2.CrossVolume(m, cur), jessica2.CrossVolume(m, next))
 		for _, mv := range moves {
-			fmt.Printf("  %s\n", mv)
+			fmt.Fprintf(out, "  %s\n", mv)
 		}
+	}
+	return nil
+}
+
+func main() {
+	rc, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := rc.execute(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

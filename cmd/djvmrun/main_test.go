@@ -1,0 +1,94 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"jessica2"
+)
+
+func parse(t *testing.T, args ...string) (*runConfig, error) {
+	t.Helper()
+	return parseArgs(args, io.Discard)
+}
+
+func TestParseDefaults(t *testing.T) {
+	rc, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.app != "sor" || rc.nodes != 8 || rc.threads != 8 || rc.seed != 42 {
+		t.Fatalf("defaults: %+v", rc)
+	}
+	if rc.rate != jessica2.FullRate || rc.policy != nil || rc.scenario != nil {
+		t.Fatalf("defaults: rate=%v policy=%v scenario=%v", rc.rate, rc.policy, rc.scenario)
+	}
+}
+
+func TestParseAppScenarioPolicyEpochCombos(t *testing.T) {
+	rc, err := parse(t, "-app", "kv", "-scenario", "phased", "-policy", "rebalance", "-epochs", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.app != "kv" || rc.scenario == nil || rc.policy == nil || rc.epochs != 8 {
+		t.Fatalf("combo: %+v", rc)
+	}
+	if rc.policy.Name() != "rebalance" {
+		t.Fatalf("policy: %s", rc.policy.Name())
+	}
+
+	rc, err = parse(t, "-app", "lu", "-scenario", "hetero,noisy", "-policy", "nop", "-epoch", "5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.policy.Name() != "nop" || rc.epoch != 5*jessica2.Millisecond {
+		t.Fatalf("nop/epoch: policy=%v epoch=%v", rc.policy.Name(), rc.epoch)
+	}
+
+	// Policy "none" disables the closed loop regardless of epoch flags.
+	rc, err = parse(t, "-policy", "none", "-epochs", "4")
+	if err != nil || rc.policy != nil {
+		t.Fatalf("none: policy=%v err=%v", rc.policy, err)
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := map[string][]string{
+		"unknown app":          {"-app", "nosuch"},
+		"unknown policy":       {"-policy", "wat"},
+		"unknown scenario":     {"-scenario", "meteor"},
+		"bad rate":             {"-rate", "-3"},
+		"zero nodes":           {"-nodes", "0"},
+		"zero threads":         {"-threads", "0"},
+		"policy without epoch": {"-policy", "rebalance", "-epochs", "0"},
+		"unknown flag":         {"-frobnicate"},
+	}
+	for name, args := range cases {
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("%s (%v): accepted", name, args)
+		}
+	}
+}
+
+func TestExecuteClosedLoopSmoke(t *testing.T) {
+	rc, err := parse(t,
+		"-app", "kv", "-scenario", "phased", "-policy", "rebalance",
+		"-epochs", "4", "-threads", "4", "-nodes", "2", "-tcm=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the run so the smoke test stays fast: an explicit epoch skips
+	// the pilot.
+	rc.epoch = 20 * jessica2.Millisecond
+	var sb strings.Builder
+	if err := rc.execute(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"closed-loop policy \"rebalance\"", "execution time:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"jessica2"
+)
+
+// TestClosedLoopEndToEnd executes the example exactly as a user would: the
+// epoch-stepped session path (NewSession → Launch → AttachProfiling →
+// SetPolicy → Step/Snapshot loop → Report) must complete without errors,
+// and the closed-loop run must beat the passive baseline on the same seed.
+func TestClosedLoopEndToEnd(t *testing.T) {
+	base := run(jessica2.NopPolicy{}, false)
+	loop := run(jessica2.NewRebalancePolicy(), false)
+	if loop >= base {
+		t.Fatalf("closed-loop %v did not beat baseline %v", loop, base)
+	}
+}

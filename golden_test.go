@@ -75,6 +75,67 @@ func goldenTrace(c goldenCase, scen *jessica2.Scenario, seed uint64) string {
 	return sb.String()
 }
 
+// sessionTrace renders the same observables as goldenTrace, but drives the
+// run through the epoch-stepped Session API with the passive NopPolicy
+// installed: the closed-loop machinery must be invisible when the policy
+// never acts.
+func sessionTrace(t *testing.T, c goldenCase, scen *jessica2.Scenario, seed uint64) string {
+	t.Helper()
+	cfg := jessica2.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Scenario = scen
+	sess := jessica2.NewSession(cfg)
+	if err := sess.Launch(c.make(), jessica2.Params{Threads: 6, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sess.AttachProfiling(jessica2.ProfileConfig{Rate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetPolicy(jessica2.NopPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		done, err := sess.Step(10 * jessica2.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	rep, err := sess.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(rep.String())
+	fmt.Fprintf(&sb, "kernel: %+v\n", rep.KernelStats())
+	fmt.Fprintf(&sb, "net: %v", rep.NetworkStats())
+	fmt.Fprintf(&sb, "oal=%d gos=%d\n", rep.OALBytes(), rep.GOSBytes())
+	sb.WriteString(rep.TCM().String())
+	fmt.Fprintf(&sb, "stackcpu=%v\n", prof.StackCPU())
+	return sb.String()
+}
+
+// TestSessionNopGoldenIdentity: a Session stepped in epochs under NopPolicy
+// must produce byte-identical reports to the classic one-shot System.Run on
+// the same seed — with and without a perturbation scenario.
+func TestSessionNopGoldenIdentity(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if got, want := sessionTrace(t, c, nil, 42), goldenTrace(c, nil, 42); got != want {
+				t.Fatalf("epoch-stepped NopPolicy session diverged from System.Run:\n--- session\n%s\n--- system\n%s", got, want)
+			}
+			if got, want := sessionTrace(t, c, stormScenario(t), 42), goldenTrace(c, stormScenario(t), 42); got != want {
+				t.Fatalf("perturbed epoch-stepped NopPolicy session diverged from System.Run:\n--- session\n%s\n--- system\n%s", got, want)
+			}
+		})
+	}
+}
+
 // stormScenario builds the all-kinds perturbation schedule; a fresh
 // instance per run ensures no state (e.g. the jitter stream) leaks between
 // repeats.

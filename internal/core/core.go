@@ -346,6 +346,21 @@ func (p *Profiler) startAdaptiveDaemon(cfg AdaptiveConfig) {
 	})
 }
 
+// LiveViews exports the profiler's incremental state for a mid-run
+// snapshot: a copy of the adaptive controller's decision log so far and
+// the current per-thread sticky-set footprint estimates. Reading the views
+// charges no simulated CPU — observing a paused run must not change it.
+func (p *Profiler) LiveViews() (trace []RateChange, footprints map[int]sticky.Footprint) {
+	trace = append([]RateChange(nil), p.RateTrace...)
+	if len(p.Footprinters) > 0 {
+		footprints = make(map[int]sticky.Footprint, len(p.Footprinters))
+		for tid, fp := range p.Footprinters {
+			footprints[tid] = fp.Footprint()
+		}
+	}
+	return trace, footprints
+}
+
 // ClassRates reports the effective per-class rates currently installed,
 // sorted by class name (diagnostics).
 func (p *Profiler) ClassRates() map[string]sampling.Rate {

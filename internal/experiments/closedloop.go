@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jessica2/internal/core"
+	"jessica2/internal/gos"
+	"jessica2/internal/metrics"
+	"jessica2/internal/sampling"
+	"jessica2/internal/scenario"
+	"jessica2/internal/session"
+	"jessica2/internal/sim"
+	"jessica2/internal/workload"
+)
+
+// --- Figure CL (closed-loop adaptation) --------------------------------------
+//
+// The paper profiles at runtime but only exploits the profile post hoc. The
+// closed-loop session API closes that loop: at every epoch boundary a policy
+// observes the incremental profile and migrates threads / re-homes objects
+// while the run continues. Figure CL quantifies the payoff: for phase-rich
+// workloads under fault-injection scenarios it compares
+//
+//   - none:        the passive baseline (no policy ever acts);
+//   - one-shot:    the rebalance policy allowed to act at a single boundary
+//     (the classic "profile once, then optimize" shape, applied online at
+//     the run's midpoint);
+//   - closed-loop: the rebalance policy acting at every boundary across
+//     FigCLEpochs epochs, chasing the workload as it shifts.
+//
+// Epoch lengths are calibrated from the baseline's execution time so all
+// modes step through comparable schedules.
+
+// FigCLScenarios is the scenario axis of the sweep.
+var FigCLScenarios = []string{"phased", "noisy"}
+
+// FigCLEpochs is the closed-loop mode's epoch count.
+const FigCLEpochs = 8
+
+// FigCLRow is one (workload, scenario, mode) measurement.
+type FigCLRow struct {
+	Workload string
+	Scenario string
+	Mode     string // "none", "one-shot", "closed-loop"
+	Epochs   int
+	Exec     sim.Time
+	// Speedup is baseline exec / this mode's exec (1.0 for the baseline).
+	Speedup float64
+	// ThreadMoves / HomeMoves count applied migrations; Faults is the
+	// kernel's remote object fault total.
+	ThreadMoves int
+	HomeMoves   int64
+	Faults      int64
+}
+
+// FigCLResult holds the closed-loop sweep.
+type FigCLResult struct {
+	Scale Scale
+	Seed  uint64
+	Rows  []FigCLRow
+}
+
+// figCLKVMix builds the phase-rich KVMix instance: rounds short relative to
+// the phased scenario's 120 ms shifts, so each phase spans several rounds
+// and an online policy has time to react inside a phase.
+func figCLKVMix(sc Scale) workload.Workload {
+	w := workload.NewKVMix()
+	w.Keys, w.ValueSize = 2048, 128
+	w.Rounds, w.TxnsPerRound, w.OpsPerTxn = 24, 24, 4
+	w.HotSpan = 256
+	if s := int(sc); s > 1 {
+		w.TxnsPerRound /= s
+		if w.TxnsPerRound < 8 {
+			w.TxnsPerRound = 8
+		}
+	}
+	return w
+}
+
+// figCLSynthetic builds the zipf-skewed synthetic: the hot objects all live
+// in one thread's region (homed on one node), the canonical target for
+// online home rebalancing.
+func figCLSynthetic(sc Scale) workload.Workload {
+	w := workload.NewSynthetic()
+	w.Pattern = workload.PatternZipf
+	w.Intervals = 16
+	w.AccessesPerInterval = 1024
+	w.WriteFraction = 0.4
+	if s := int(sc); s > 1 {
+		w.AccessesPerInterval /= s
+		if w.AccessesPerInterval < 128 {
+			w.AccessesPerInterval = 128
+		}
+	}
+	return w
+}
+
+// oncePolicy passes through its inner policy's first acting boundary, then
+// goes passive — the "one-shot" optimization mode.
+type oncePolicy struct {
+	inner session.Policy
+	acted bool
+}
+
+func (p *oncePolicy) Name() string { return p.inner.Name() + "-once" }
+
+func (p *oncePolicy) NeedsProfile() bool { return !p.acted && p.inner.NeedsProfile() }
+
+func (p *oncePolicy) Observe(s *session.Snapshot) []session.Action {
+	if p.acted {
+		return nil
+	}
+	acts := p.inner.Observe(s)
+	if len(acts) > 0 {
+		p.acted = true
+	}
+	return acts
+}
+
+// figCLRun executes one cell and returns (exec, applied thread moves).
+func figCLRun(w workload.Workload, scenName string, seed uint64, policy session.Policy, epoch sim.Time) (*session.Session, sim.Time) {
+	const nodes, threads = 4, 8
+	kcfg := gos.DefaultConfig()
+	kcfg.Nodes = nodes
+	kcfg.Tracking = gos.TrackingSampled
+	scen, err := scenario.Preset(scenName, nodes, seed)
+	if err != nil {
+		panic(err)
+	}
+	s := session.New(session.Config{Kernel: kcfg, Scenario: scen, Epoch: epoch})
+	if err := s.Launch(w, workload.Params{Threads: threads, Seed: seed}); err != nil {
+		panic(err)
+	}
+	if _, err := s.AttachProfiling(core.Config{Rate: sampling.FullRate}); err != nil {
+		panic(err)
+	}
+	if policy != nil {
+		if err := s.SetPolicy(policy); err != nil {
+			panic(err)
+		}
+	}
+	exec, err := s.Run()
+	if err != nil {
+		panic(err)
+	}
+	return s, exec
+}
+
+// FigCL runs the closed-loop sweep at the given dataset scale.
+func FigCL(sc Scale) *FigCLResult {
+	const seed = 42
+	res := &FigCLResult{Scale: sc, Seed: seed}
+	loads := []struct {
+		name string
+		make func(Scale) workload.Workload
+	}{
+		{"KVMix", figCLKVMix},
+		{"Synthetic/zipf", figCLSynthetic},
+	}
+	for _, ld := range loads {
+		for _, scen := range FigCLScenarios {
+			base, baseExec := figCLRun(ld.make(sc), scen, seed, nil, 0)
+			res.Rows = append(res.Rows, FigCLRow{
+				Workload: ld.name, Scenario: scen, Mode: "none", Epochs: 1,
+				Exec: baseExec, Speedup: 1,
+				Faults: base.Kernel().Stats().Faults,
+			})
+
+			add := func(mode string, epochs int, s *session.Session, exec sim.Time) {
+				row := FigCLRow{
+					Workload: ld.name, Scenario: scen, Mode: mode, Epochs: epochs,
+					Exec:    exec,
+					Speedup: float64(baseExec) / float64(exec),
+					Faults:  s.Kernel().Stats().Faults,
+				}
+				row.HomeMoves = s.Kernel().Stats().HomeMigrations
+				row.ThreadMoves = len(s.MigrationEngine().History)
+				res.Rows = append(res.Rows, row)
+			}
+
+			oneShot := &oncePolicy{inner: session.NewRebalancePolicy()}
+			s1, exec1 := figCLRun(ld.make(sc), scen, seed, oneShot, baseExec/2)
+			add("one-shot", 2, s1, exec1)
+
+			sN, execN := figCLRun(ld.make(sc), scen, seed, session.NewRebalancePolicy(), baseExec/FigCLEpochs)
+			add("closed-loop", FigCLEpochs, sN, execN)
+		}
+	}
+	return res
+}
+
+// Row returns the (workload, scenario, mode) cell, or nil.
+func (r *FigCLResult) Row(load, scen, mode string) *FigCLRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Workload == load && row.Scenario == scen && row.Mode == mode {
+			return row
+		}
+	}
+	return nil
+}
+
+// Table renders the sweep.
+func (r *FigCLResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("FIGURE CL. CLOSED-LOOP ADAPTATION VS ONE-SHOT VS NO MIGRATION (4 nodes, 8 threads, seed %d)", r.Seed),
+		"Workload", "Scenario", "Mode", "Epochs", "Exec", "Speedup", "Thr Moves", "Home Moves", "Faults")
+	prev := ""
+	for _, row := range r.Rows {
+		group := row.Workload + "/" + row.Scenario
+		name, scen := row.Workload, row.Scenario
+		if group == prev {
+			name, scen = "", ""
+		} else {
+			prev = group
+		}
+		t.AddRow(name, scen, row.Mode, fmt.Sprintf("%d", row.Epochs),
+			row.Exec.String(), fmt.Sprintf("%.3fx", row.Speedup),
+			fmt.Sprintf("%d", row.ThreadMoves), fmt.Sprintf("%d", row.HomeMoves),
+			fmt.Sprintf("%d", row.Faults))
+	}
+	return t
+}
+
+func (r *FigCLResult) String() string { return r.Table().String() }

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestFigCLClosedLoopWins is the acceptance check for the closed-loop
+// session API: under fault-injection scenarios, the rebalance policy acting
+// every epoch must strictly beat the passive baseline, and acting at every
+// epoch must not lose to acting once.
+func TestFigCLClosedLoopWins(t *testing.T) {
+	res := FigCL(testScale)
+	wantRows := 2 * len(FigCLScenarios) * 3
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows: got %d want %d", len(res.Rows), wantRows)
+	}
+	for _, load := range []string{"KVMix", "Synthetic/zipf"} {
+		for _, scen := range FigCLScenarios {
+			base := res.Row(load, scen, "none")
+			once := res.Row(load, scen, "one-shot")
+			loop := res.Row(load, scen, "closed-loop")
+			if base == nil || once == nil || loop == nil {
+				t.Fatalf("%s/%s: missing rows", load, scen)
+			}
+			if loop.Exec >= base.Exec {
+				t.Errorf("%s/%s: closed-loop did not beat baseline: %v >= %v",
+					load, scen, loop.Exec, base.Exec)
+			}
+			if loop.ThreadMoves+int(loop.HomeMoves) == 0 {
+				t.Errorf("%s/%s: closed-loop never acted", load, scen)
+			}
+			if loop.Epochs < 2 {
+				t.Errorf("%s/%s: closed-loop ran %d epochs", load, scen, loop.Epochs)
+			}
+		}
+	}
+}

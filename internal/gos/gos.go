@@ -317,6 +317,30 @@ func (k *Kernel) Run() sim.Time {
 	return k.WorkloadEndTime()
 }
 
+// RunUntil advances the simulation to virtual time limit and pauses at a
+// global safe point (no proc mid-step). It returns true when the run has
+// completed. While paused, callers may take snapshots, flush OALs, re-home
+// objects, request thread migrations and retune sampling before resuming —
+// the epoch-stepping substrate of the closed-loop session API.
+func (k *Kernel) RunUntil(limit sim.Time) bool {
+	return k.Eng.RunUntil(limit)
+}
+
+// NumThreads returns the spawned thread count.
+func (k *Kernel) NumThreads() int { return len(k.threads) }
+
+// Thread returns the i-th spawned thread.
+func (k *Kernel) Thread(i int) *Thread { return k.threads[i] }
+
+// Assignment returns the current thread→node placement.
+func (k *Kernel) Assignment() []int {
+	a := make([]int, len(k.threads))
+	for i, t := range k.threads {
+		a[i] = t.node.id
+	}
+	return a
+}
+
 // AllThreadsFinished reports whether every spawned thread body returned.
 func (k *Kernel) AllThreadsFinished() bool {
 	for _, t := range k.threads {

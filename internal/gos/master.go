@@ -128,6 +128,21 @@ func (m *Master) HomeAffinity(threads, nodes int) [][]float64 {
 	return out
 }
 
+// widen copies mp into an n×n map when the builder was sized before all
+// threads spawned; a map already wide enough passes through.
+func widen(mp *tcm.Map, n int) *tcm.Map {
+	if mp.N() >= n {
+		return mp
+	}
+	wide := tcm.NewMap(n)
+	for i := 0; i < mp.N(); i++ {
+		for j := i + 1; j < mp.N(); j++ {
+			wide.Set(i, j, mp.At(i, j))
+		}
+	}
+	return wide
+}
+
 // Build constructs the TCM for n threads from everything ingested, charging
 // analyzer CPU for the accrual pass.
 func (m *Master) Build(n int) (*tcm.Map, tcm.BuildCost) {
@@ -135,17 +150,15 @@ func (m *Master) Build(n int) (*tcm.Map, tcm.BuildCost) {
 	mp, cost := bl.Build()
 	m.buildTime += sim.Time(cost.PairAdds)*m.k.Cfg.Costs.TCMPairCost +
 		sim.Time(cost.Objects)*m.k.Cfg.Costs.TCMReorgCostPerEntry
-	if mp.N() < n {
-		// The builder was sized before all threads spawned; rebuild wide.
-		wide := tcm.NewMap(n)
-		for i := 0; i < mp.N(); i++ {
-			for j := i + 1; j < mp.N(); j++ {
-				wide.Set(i, j, mp.At(i, j))
-			}
-		}
-		return wide, cost
-	}
-	return mp, cost
+	return widen(mp, n), cost
+}
+
+// Peek builds the TCM from everything ingested so far WITHOUT charging
+// analyzer CPU: a live-snapshot read that leaves the master's accounting
+// exactly as a later charged Build would have found it. Observing a paused
+// run must not change it.
+func (m *Master) Peek(n int) *tcm.Map {
+	return widen(m.ensureBuilder().Peek(), n)
 }
 
 // ResetWindow clears ingested state for a fresh profiling window.

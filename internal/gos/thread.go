@@ -44,6 +44,14 @@ type Thread struct {
 	finished   bool
 	finishedAt sim.Time
 
+	// safePointFn, when set, runs on the thread's own proc at its next
+	// safe point (the top of its next shared access, before the interval
+	// state is touched). It is the injection mechanism for externally
+	// requested thread migrations: the closed-loop session decides at an
+	// epoch boundary, the thread acts when it reaches a point where its
+	// context is capturable.
+	safePointFn func(*Thread)
+
 	stats ThreadStats
 }
 
@@ -301,8 +309,25 @@ func (t *Thread) WriteElems(o *heap.Object, elems int) {
 	t.access(o, true, elems*o.Class.ElemSize)
 }
 
+// AtSafePoint schedules fn to run on the thread's own proc at its next
+// safe point — the top of its next shared-object access, before any
+// interval state is touched, where the thread's portable context can be
+// captured and shipped (fn may call migration primitives that block the
+// proc, such as MoveTo). A later request before the safe point is reached
+// replaces an earlier one. No-op on finished threads.
+func (t *Thread) AtSafePoint(fn func(*Thread)) {
+	if t.finished {
+		return
+	}
+	t.safePointFn = fn
+}
+
 // access is the JIT-inlined object state check path.
 func (t *Thread) access(o *heap.Object, write bool, writtenBytes int) {
+	if fn := t.safePointFn; fn != nil {
+		t.safePointFn = nil
+		fn(t)
+	}
 	t.openInterval()
 	t.pc++
 	t.stats.Accesses++

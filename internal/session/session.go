@@ -1,0 +1,452 @@
+// Package session implements the closed-loop profiling session at the heart
+// of the public API: an epoch-driven run of the distributed JVM that pauses
+// at safe points, exposes live snapshots of the profiling state (incremental
+// TCM, per-thread footprints, rate trace, kernel and network counters), and
+// applies pluggable observe→decide→act policies — thread migration, object
+// home migration, sampling-rate retuning — while the workload keeps running.
+//
+// This is the controller-in-the-loop shape the paper's runtime optimization
+// story calls for: profile → plan → migrate → keep running, every epoch,
+// instead of profiling a run to completion and only then planning.
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"jessica2/internal/balancer"
+	"jessica2/internal/core"
+	"jessica2/internal/gos"
+	"jessica2/internal/heap"
+	"jessica2/internal/migration"
+	"jessica2/internal/network"
+	"jessica2/internal/scenario"
+	"jessica2/internal/sim"
+	"jessica2/internal/tcm"
+	"jessica2/internal/workload"
+)
+
+// Lifecycle errors returned by the session API (the deprecated System
+// facade converts these back into panics for compatibility).
+var (
+	// ErrStarted rejects configuration calls after stepping has begun.
+	ErrStarted = errors.New("jessica2: session already started")
+	// ErrFinished rejects Run after the session has completed.
+	ErrFinished = errors.New("jessica2: session already finished")
+	// ErrNoWorkload rejects stepping before any Launch.
+	ErrNoWorkload = errors.New("jessica2: session has no workload launched")
+	// ErrNotFinished rejects Report before the run completes.
+	ErrNotFinished = errors.New("jessica2: session still running")
+)
+
+// Config assembles a session.
+type Config struct {
+	// Kernel is the fully resolved DJVM configuration.
+	Kernel gos.Config
+	// Scenario, when non-nil, perturbs the run with the fault-injection
+	// scenario engine.
+	Scenario *scenario.Scenario
+	// Epoch is the default stepping period used by Run and RunUntil when a
+	// policy is installed (Step takes an explicit period instead).
+	Epoch sim.Time
+}
+
+// Session is one epoch-driven closed-loop run of the distributed JVM.
+type Session struct {
+	k     *gos.Kernel
+	prof  *core.Profiler
+	phase *workload.Phase
+	mig   *migration.Engine
+
+	cfg      Config
+	scripted bool
+	policy   Policy
+	loads    []workload.Workload
+
+	started  bool
+	done     bool
+	execTime sim.Time
+	epoch    int
+
+	// hotSeen marks summary objects already surfaced through Snapshot.Hot,
+	// so each epoch's hot list reports only newly shared objects (built-in
+	// hysteresis: a policy that re-homed an object once is not asked to
+	// reconsider it every epoch).
+	hotSeen map[int64]bool
+
+	// applied logs every policy action the session executed.
+	applied []AppliedAction
+
+	err error // sticky configuration error, surfaced on first use
+}
+
+// AppliedAction is one executed policy decision.
+type AppliedAction struct {
+	Epoch  int
+	At     sim.Time
+	Action Action
+	// Note records the outcome: "" means applied (for MigrateThread,
+	// scheduled at the thread's next safe point — completed migrations
+	// appear in MigrationEngine().History); otherwise why it was a no-op.
+	Note string
+}
+
+// New builds a session. An invalid configuration (e.g. a scenario that does
+// not validate against the cluster) is recorded as a sticky error returned
+// by the first Launch/Step/Run call, keeping construction chainable.
+func New(cfg Config) *Session {
+	// Default only the missing pieces of the kernel config; a caller's
+	// partial config (say, tracking mode without a node count) must not be
+	// silently discarded wholesale.
+	kcfg := cfg.Kernel
+	def := gos.DefaultConfig()
+	if kcfg.Nodes <= 0 {
+		kcfg.Nodes = def.Nodes
+	}
+	if kcfg.Net == (network.Config{}) {
+		kcfg.Net = def.Net
+	}
+	if kcfg.Costs == (gos.CostModel{}) {
+		kcfg.Costs = def.Costs
+	}
+	s := &Session{cfg: cfg, phase: new(workload.Phase)}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(kcfg.Nodes); err != nil {
+			s.err = fmt.Errorf("jessica2: invalid scenario: %w", err)
+			return s
+		}
+	}
+	s.k = gos.NewKernel(kcfg)
+	if cfg.Scenario != nil {
+		s.scripted = true
+		cfg.Scenario.Apply(s.k, s.phase)
+	}
+	return s
+}
+
+// Kernel exposes the underlying DJVM (advanced use).
+func (s *Session) Kernel() *gos.Kernel { return s.k }
+
+// Phase exposes the workload phase register the scenario engine drives.
+func (s *Session) Phase() *workload.Phase { return s.phase }
+
+// Err returns the sticky configuration error, if any.
+func (s *Session) Err() error { return s.err }
+
+// Workloads returns the names of the launched workloads in launch order.
+func (s *Session) Workloads() []string {
+	names := make([]string, len(s.loads))
+	for i, w := range s.loads {
+		names[i] = w.Name()
+	}
+	return names
+}
+
+// Launch registers a workload's classes and spawns its threads. When a
+// scenario drives the session and the caller installed no phase register of
+// its own, the session's register rides along so phase-aware workloads
+// follow the scenario's phase shifts.
+func (s *Session) Launch(w workload.Workload, p workload.Params) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.started {
+		return fmt.Errorf("%w: Launch must precede the first Step/Run", ErrStarted)
+	}
+	if p.Phase == nil && s.scripted {
+		p.Phase = s.phase
+	}
+	w.Launch(s.k, p)
+	s.loads = append(s.loads, w)
+	return nil
+}
+
+// AttachProfiling wires the profiling subsystems. Call after Launch and
+// before the first step.
+func (s *Session) AttachProfiling(cfg core.Config) (*core.Profiler, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.started {
+		return nil, fmt.Errorf("%w: AttachProfiling must precede the first Step/Run", ErrStarted)
+	}
+	s.prof = core.Attach(s.k, cfg)
+	return s.prof, nil
+}
+
+// Profiler returns the attached profiler (nil when none).
+func (s *Session) Profiler() *core.Profiler { return s.prof }
+
+// SetPolicy installs the closed-loop policy consulted at every epoch
+// boundary. Must be called before the first step; nil clears it.
+func (s *Session) SetPolicy(p Policy) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.started {
+		return fmt.Errorf("%w: SetPolicy must precede the first Step/Run", ErrStarted)
+	}
+	s.policy = p
+	return nil
+}
+
+// Policy returns the installed policy (nil when none).
+func (s *Session) Policy() Policy { return s.policy }
+
+// Actions returns the log of executed policy decisions.
+func (s *Session) Actions() []AppliedAction {
+	return append([]AppliedAction(nil), s.applied...)
+}
+
+// Epochs reports how many epoch boundaries have been processed.
+func (s *Session) Epochs() int { return s.epoch }
+
+// Done reports whether the simulation has run to completion.
+func (s *Session) Done() bool { return s.done }
+
+// Now returns the current virtual time.
+func (s *Session) Now() sim.Time {
+	if s.k == nil {
+		return 0
+	}
+	return s.k.Eng.Now()
+}
+
+// ExecTime is the workload execution time; valid once Done.
+func (s *Session) ExecTime() sim.Time { return s.execTime }
+
+func (s *Session) checkStep() error {
+	if s.err != nil {
+		return s.err
+	}
+	// Advanced users may spawn threads on the kernel directly instead of
+	// launching a packaged workload; only a truly empty session errors.
+	if len(s.loads) == 0 && s.k.NumThreads() == 0 {
+		return ErrNoWorkload
+	}
+	return nil
+}
+
+// Step advances the run by one epoch of the given length and processes the
+// epoch boundary: incremental OAL flush (for profile-hungry policies), a
+// snapshot, the policy's Observe, and the returned actions. It reports
+// whether the run has completed; stepping a finished session is a no-op
+// returning true.
+func (s *Session) Step(epoch sim.Time) (bool, error) {
+	if err := s.checkStep(); err != nil {
+		return s.done, err
+	}
+	if s.done {
+		return true, nil
+	}
+	if epoch <= 0 {
+		return false, fmt.Errorf("jessica2: non-positive epoch %v", epoch)
+	}
+	s.started = true
+	if s.k.RunUntil(s.k.Eng.Now() + epoch) {
+		s.finish()
+		return true, nil
+	}
+	s.boundary()
+	return false, nil
+}
+
+// RunUntil advances the run to absolute virtual time t. With a policy
+// installed and a configured Epoch, boundaries are processed every Epoch on
+// the way; otherwise the stretch runs unsupervised. Reports completion.
+func (s *Session) RunUntil(t sim.Time) (bool, error) {
+	if err := s.checkStep(); err != nil {
+		return s.done, err
+	}
+	if s.done {
+		return true, nil
+	}
+	s.started = true
+	step := s.cfg.Epoch
+	if s.policy == nil || step <= 0 {
+		step = t - s.k.Eng.Now()
+		if step <= 0 {
+			return false, nil
+		}
+	}
+	for s.k.Eng.Now() < t {
+		next := s.k.Eng.Now() + step
+		if next > t {
+			next = t
+		}
+		if s.k.RunUntil(next) {
+			s.finish()
+			return true, nil
+		}
+		s.boundary()
+	}
+	return false, nil
+}
+
+// Run executes the session to completion and returns the workload execution
+// time. With a policy installed it steps in Config.Epoch increments (an
+// installed policy with no configured epoch is an error); without one it
+// runs straight through. Running a finished session returns ErrFinished.
+func (s *Session) Run() (sim.Time, error) {
+	if err := s.checkStep(); err != nil {
+		return 0, err
+	}
+	if s.done {
+		return s.execTime, ErrFinished
+	}
+	s.started = true
+	if s.policy != nil && s.cfg.Epoch <= 0 {
+		return 0, errors.New("jessica2: policy installed but Config.Epoch is zero; use Step or set an epoch")
+	}
+	for !s.done {
+		if s.policy == nil {
+			s.k.Eng.Run()
+			s.finish()
+			break
+		}
+		if _, err := s.Step(s.cfg.Epoch); err != nil {
+			return 0, err
+		}
+	}
+	return s.execTime, nil
+}
+
+// finish records completion and drains the remaining OAL buffers, exactly
+// as the classic one-shot Run path did.
+func (s *Session) finish() {
+	s.done = true
+	s.execTime = s.k.WorkloadEndTime()
+	s.k.FlushAllOAL()
+}
+
+// boundary processes one epoch boundary: flush, snapshot, observe, act.
+// Passive policies (NeedsProfile false) leave the protocol completely
+// untouched, which keeps the run byte-identical to an unsupervised one.
+func (s *Session) boundary() {
+	s.epoch++
+	if s.policy == nil {
+		return
+	}
+	profile := s.policy.NeedsProfile()
+	if profile {
+		// Incremental cluster-wide OAL flush: node 0 ingests locally and is
+		// visible in this epoch's snapshot; remote shipments arrive within
+		// the next epoch — the one-epoch profile lag of a real collector.
+		s.k.FlushAllOAL()
+	}
+	snap := s.snapshot(profile, true)
+	for _, a := range s.policy.Observe(snap) {
+		if a == nil {
+			continue
+		}
+		note := a.apply(s)
+		s.applied = append(s.applied, AppliedAction{
+			Epoch: s.epoch, At: s.k.Eng.Now(), Action: a, Note: note,
+		})
+	}
+}
+
+// Snapshot captures the live profiling state at the current pause point.
+// It never charges simulated CPU: observing a paused run does not change
+// it. The hot-object list reports objects newly shared since the previous
+// epoch boundary without consuming them (only boundary snapshots mark hot
+// objects as surfaced).
+func (s *Session) Snapshot() *Snapshot {
+	if s.k == nil {
+		return &Snapshot{}
+	}
+	return s.snapshot(true, false)
+}
+
+func (s *Session) snapshot(profile, boundary bool) *Snapshot {
+	k := s.k
+	n := k.NumThreads()
+	snap := &Snapshot{
+		Now:        k.Eng.Now(),
+		Epoch:      s.epoch,
+		Done:       s.done,
+		Nodes:      k.NumNodes(),
+		Threads:    n,
+		Assignment: balancer.Assignment(k.Assignment()),
+		Finished:   make([]bool, n),
+		Kernel:     k.Stats(),
+		Network:    k.Net.Stats(),
+	}
+	for i := 0; i < n; i++ {
+		snap.Finished[i] = k.Thread(i).Finished()
+	}
+	if s.prof != nil {
+		snap.RateTrace, snap.Footprints = s.prof.LiveViews()
+	}
+	if !profile {
+		return snap
+	}
+	snap.TCM = k.Master().Peek(n)
+	snap.Hot = s.hotObjects(boundary)
+	return snap
+}
+
+// hotObjects extracts the newly shared objects from the master's summary:
+// objects accessed by at least two threads that previous boundaries have
+// not already surfaced. Boundary snapshots consume (mark) them; ad-hoc
+// snapshots only peek.
+func (s *Session) hotObjects(consume bool) []HotObject {
+	sum := s.k.Master().Summary()
+	var hot []HotObject
+	for _, os := range sum.Objs {
+		if len(os.Threads) < 2 || s.hotSeen[os.Key] {
+			continue
+		}
+		o := s.k.Reg.Object(heap.ObjectID(os.Key))
+		if o == nil {
+			continue
+		}
+		if consume {
+			if s.hotSeen == nil {
+				s.hotSeen = make(map[int64]bool)
+			}
+			s.hotSeen[os.Key] = true
+		}
+		hot = append(hot, HotObject{
+			Object:  o.ID,
+			Home:    o.Home,
+			Bytes:   o.Bytes(),
+			Volume:  os.Bytes,
+			Threads: append([]int32(nil), os.Threads...),
+		})
+	}
+	// Summary is sorted by key; keep that order (allocation order), which
+	// is deterministic and groups co-allocated hot ranges.
+	return hot
+}
+
+// Finished returns nil once the run has completed: ErrNotFinished while
+// still in progress, or the sticky configuration error.
+func (s *Session) Finished() error {
+	if err := s.checkStep(); err != nil {
+		return err
+	}
+	if !s.done {
+		return ErrNotFinished
+	}
+	return nil
+}
+
+// NetworkStats aliases network.Stats for snapshot consumers.
+type NetworkStats = network.Stats
+
+// MigrationEngine returns (creating on first use) the engine that executes
+// this session's thread migrations, with its outcome history.
+func (s *Session) MigrationEngine() *migration.Engine {
+	if s.mig == nil {
+		s.mig = migration.NewEngine(s.k, migration.DefaultConfig())
+	}
+	return s.mig
+}
+
+// TCMNow builds the correlation map from everything the master has ingested,
+// charging analyzer CPU (the classic Report.TCM path).
+func (s *Session) TCMNow() *tcm.Map {
+	m, _ := s.k.TCM()
+	return m
+}

@@ -219,6 +219,43 @@ func (e *Engine) Run() Time {
 	return e.now
 }
 
+// RunUntil executes events up to and including virtual time limit, then
+// pauses with the clock advanced to limit. It returns true when the
+// simulation has completed (the event queue drained), false when it paused
+// at the limit with work still queued. Because the scheduler only ever
+// transfers control between events, the pause point is a global safe point:
+// no proc is mid-step, and the caller may inspect state, schedule new
+// events at or after limit, and resume with another RunUntil or Run call.
+// Like Run, it panics with a deadlock report if the queue drains while
+// procs are still blocked.
+func (e *Engine) RunUntil(limit Time) bool {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > limit {
+			if limit > e.now {
+				e.now = limit
+			}
+			return false
+		}
+		ev := e.queue.pop()
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.stopped && e.running > 0 {
+		panic("sim: deadlock: " + e.blockedReport())
+	}
+	return true
+}
+
+// Idle reports whether the event queue has drained (no further work is
+// scheduled). Together with a false RunUntil return it distinguishes
+// "paused at the limit" from "finished before the limit".
+func (e *Engine) Idle() bool { return len(e.queue) == 0 }
+
 // Stop halts the scheduler after the current event completes. Blocked procs
 // are abandoned (their goroutines stay parked; the process is expected to
 // exit or the engine to be discarded).

@@ -372,3 +372,68 @@ func TestTimeString(t *testing.T) {
 		t.Error("Milliseconds conversion wrong")
 	}
 }
+
+// TestRunUntilPausesAtSafePoint: epoch-stepped execution must fire exactly
+// the events due by each limit, leave the clock at the pause point, and
+// produce the same trace as a straight Run.
+func TestRunUntilPausesAtSafePoint(t *testing.T) {
+	trace := func(step Time) ([]Time, Time) {
+		e := NewEngine()
+		var fired []Time
+		e.Spawn("ticker", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(30)
+				fired = append(fired, p.Now())
+			}
+		})
+		if step <= 0 {
+			end := e.Run()
+			return fired, end
+		}
+		var now Time
+		for !e.RunUntil(now) {
+			if e.Now() != now {
+				t.Fatalf("paused clock at %v, want %v", e.Now(), now)
+			}
+			now += step
+		}
+		return fired, e.Now()
+	}
+
+	want, wantEnd := trace(0)
+	for _, step := range []Time{7, 30, 45, 1000} {
+		got, _ := trace(step)
+		if len(got) != len(want) {
+			t.Fatalf("step %v: fired %d events, want %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %v: event %d at %v, want %v", step, i, got[i], want[i])
+			}
+		}
+	}
+	if wantEnd != 300 {
+		t.Fatalf("end time %v, want 300ns", wantEnd)
+	}
+}
+
+// TestRunUntilAllowsMidRunScheduling: events scheduled while paused at the
+// limit run when stepping resumes.
+func TestRunUntilAllowsMidRunScheduling(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("sleeper", func(p *Proc) { p.Sleep(100) })
+	if e.RunUntil(50) {
+		t.Fatal("completed before the sleeper woke")
+	}
+	var injected bool
+	e.Schedule(e.Now(), func() { injected = true })
+	if e.RunUntil(60) {
+		t.Fatal("completed before the sleeper woke")
+	}
+	if !injected {
+		t.Fatal("event scheduled at the pause point did not fire on resume")
+	}
+	if !e.RunUntil(100) || !e.Idle() {
+		t.Fatal("run did not complete")
+	}
+}

@@ -251,10 +251,26 @@ func (b *Builder) AddAccess(t int, key int64, bytes float64) {
 }
 
 // Build constructs the TCM by accruing, for every object, its weight into
-// every pair of threads that accessed it in common.
+// every pair of threads that accessed it in common, charging the cost
+// ledger for the accrual pass.
 func (b *Builder) Build() (*Map, BuildCost) {
+	m := b.buildMap(true)
+	return m, b.cost
+}
+
+// Peek constructs the same map Build would, but leaves the cost ledger
+// untouched: no Objects/PairAdds accrual, so a charged Build that follows
+// observes exactly the state it would have without the peek. Live snapshots
+// use it to expose the incremental TCM without perturbing the simulated
+// analyzer's CPU accounting.
+func (b *Builder) Peek() *Map { return b.buildMap(false) }
+
+// buildMap is the shared accrual pass behind Build and Peek.
+func (b *Builder) buildMap(charge bool) *Map {
 	m := NewMap(b.n)
-	b.cost.Objects = len(b.objs)
+	if charge {
+		b.cost.Objects = len(b.objs)
+	}
 	// Deterministic iteration: sort object keys.
 	keys := b.keys[:0]
 	for k := range b.objs {
@@ -276,11 +292,13 @@ func (b *Builder) Build() (*Map, BuildCost) {
 		for i := 0; i < len(ts); i++ {
 			for j := i + 1; j < len(ts); j++ {
 				m.Add(ts[i], ts[j], oe.bytes)
-				b.cost.PairAdds++
 			}
 		}
+		if charge {
+			b.cost.PairAdds += int64(len(ts)) * int64(len(ts)-1) / 2
+		}
 	}
-	return m, b.cost
+	return m
 }
 
 // Reset clears ingested state for the next profiling window, retaining the

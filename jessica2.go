@@ -22,11 +22,38 @@
 //
 // # Quick start
 //
-//	sys := jessica2.New(jessica2.DefaultConfig())
-//	sys.Launch(jessica2.NewSOR(), jessica2.Params{Threads: 8, Seed: 1})
-//	sys.AttachProfiling(jessica2.ProfileConfig{Rate: jessica2.FullRate})
-//	rep := sys.Run()
+// The primary entry point is the epoch-driven Session: launch a workload,
+// optionally attach profiling and a closed-loop policy, then step or run.
+// At every epoch boundary the session pauses the cluster at a safe point,
+// snapshots the live profiling state (incremental TCM, per-thread
+// footprints, rate trace, kernel/network counters) and lets the policy
+// act — migrate threads (with sticky-set prefetch), re-home objects,
+// retune the sampling rate — before the run resumes:
+//
+//	sess := jessica2.NewSession(jessica2.Config{Epoch: 50 * jessica2.Millisecond})
+//	sess.Launch(jessica2.NewKVMix(), jessica2.Params{Threads: 8, Seed: 1})
+//	sess.AttachProfiling(jessica2.ProfileConfig{Rate: jessica2.FullRate})
+//	sess.SetPolicy(jessica2.NewRebalancePolicy())
+//	rep, err := sess.Run()
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(rep)
+//
+// Manual stepping exposes the loop directly:
+//
+//	for {
+//		done, err := sess.Step(50 * jessica2.Millisecond)
+//		if err != nil || done {
+//			break
+//		}
+//		snap := sess.Snapshot()
+//		fmt.Println(snap.Now, snap.Kernel.Faults)
+//	}
+//
+// The deprecated System facade (New/Launch/AttachProfiling/Run) remains as
+// a thin compatibility wrapper over a single-epoch session; unlike Session,
+// whose misuse returns errors, System keeps its historical panics.
 package jessica2
 
 import (
@@ -41,6 +68,7 @@ import (
 	"jessica2/internal/network"
 	"jessica2/internal/sampling"
 	"jessica2/internal/scenario"
+	"jessica2/internal/session"
 	"jessica2/internal/sim"
 	"jessica2/internal/stack"
 	"jessica2/internal/sticky"
@@ -88,6 +116,9 @@ type Class = heap.Class
 
 // Object is a shared object in the global object space.
 type Object = heap.Object
+
+// ObjectID is a shared object's dense identifier (used by re-home actions).
+type ObjectID = heap.ObjectID
 
 // Registry is the class/object registry of a kernel (Kernel.Reg).
 type Registry = heap.Registry
@@ -210,7 +241,7 @@ var (
 	Accuracy    = tcm.Accuracy
 )
 
-// --- system facade -----------------------------------------------------------
+// --- session facade ----------------------------------------------------------
 
 // Config assembles a DJVM instance.
 type Config struct {
@@ -224,14 +255,20 @@ type Config struct {
 	// DistributedTCM enables the paper's §VI scalability extension:
 	// workers pre-reduce their OALs into per-object summaries.
 	DistributedTCM bool
-	// Network overrides the interconnect model (zero value = defaults).
+	// Network overrides the interconnect model field by field: any zero
+	// field keeps its default, so partial overrides (say, latency only)
+	// compose with the Fast Ethernet baseline.
 	Network network.Config
-	// Costs overrides the CPU cost model (zero value = defaults).
+	// Costs overrides the CPU cost model field by field (zero fields keep
+	// their calibrated defaults).
 	Costs gos.CostModel
 	// Scenario, when non-nil, perturbs the run with the fault-injection
 	// scenario engine (heterogeneous CPUs, link ramps, jitter, transient
 	// slowdowns, workload phase shifts). Same-seed runs stay deterministic.
 	Scenario *Scenario
+	// Epoch is the closed-loop stepping period Session.Run and RunUntil
+	// use when a policy is installed (Step takes an explicit period).
+	Epoch Time
 }
 
 // DefaultConfig mirrors the paper's 8-node Fast Ethernet testbed with
@@ -244,19 +281,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// System is one simulated distributed JVM with optional profiling.
-type System struct {
-	k        *gos.Kernel
-	profiler *core.Profiler
-	phase    *workload.Phase
-	scripted bool // a scenario drives the phase register
-	loads    []Workload
-	ran      bool
-	execTime Time
-}
-
-// New builds a system from the config.
-func New(cfg Config) *System {
+// kernelConfig resolves the config over defaults. Network and Costs merge
+// field by field: a partially populated override adjusts only the fields it
+// sets, zero fields keep their calibrated defaults.
+func (cfg Config) kernelConfig() gos.Config {
 	kcfg := gos.DefaultConfig()
 	if cfg.Nodes > 0 {
 		kcfg.Nodes = cfg.Nodes
@@ -264,67 +292,276 @@ func New(cfg Config) *System {
 	kcfg.Tracking = cfg.Tracking
 	kcfg.TransferOALs = cfg.TransferOALs
 	kcfg.DistributedTCM = cfg.DistributedTCM
-	if cfg.Network.BandwidthBytesPerSec > 0 {
-		kcfg.Net = cfg.Network
+	kcfg.Net = mergeNetwork(kcfg.Net, cfg.Network)
+	kcfg.Costs = mergeCosts(kcfg.Costs, cfg.Costs)
+	return kcfg
+}
+
+// mergeNetwork overlays non-zero override fields on the base model.
+func mergeNetwork(base, over network.Config) network.Config {
+	if over.Latency > 0 {
+		base.Latency = over.Latency
 	}
-	if cfg.Costs.CheckCost > 0 {
-		kcfg.Costs = cfg.Costs
+	if over.BandwidthBytesPerSec > 0 {
+		base.BandwidthBytesPerSec = over.BandwidthBytesPerSec
 	}
-	s := &System{k: gos.NewKernel(kcfg), phase: new(workload.Phase)}
-	if cfg.Scenario != nil {
-		s.scripted = true
-		cfg.Scenario.Apply(s.k, s.phase)
+	if over.HeaderBytes > 0 {
+		base.HeaderBytes = over.HeaderBytes
 	}
-	return s
+	return base
+}
+
+// mergeCosts overlays non-zero override fields on the base cost model.
+func mergeCosts(base, over gos.CostModel) gos.CostModel {
+	if over.CheckCost > 0 {
+		base.CheckCost = over.CheckCost
+	}
+	if over.LogCost > 0 {
+		base.LogCost = over.LogCost
+	}
+	if over.ResetCost > 0 {
+		base.ResetCost = over.ResetCost
+	}
+	if over.FaultCPUCost > 0 {
+		base.FaultCPUCost = over.FaultCPUCost
+	}
+	if over.HomeServiceCost > 0 {
+		base.HomeServiceCost = over.HomeServiceCost
+	}
+	if over.TwinCostPerByte > 0 {
+		base.TwinCostPerByte = over.TwinCostPerByte
+	}
+	if over.DiffCostPerByte > 0 {
+		base.DiffCostPerByte = over.DiffCostPerByte
+	}
+	if over.ResampleCostPerObject > 0 {
+		base.ResampleCostPerObject = over.ResampleCostPerObject
+	}
+	if over.OALPackCostPerEntry > 0 {
+		base.OALPackCostPerEntry = over.OALPackCostPerEntry
+	}
+	if over.TCMReorgCostPerEntry > 0 {
+		base.TCMReorgCostPerEntry = over.TCMReorgCostPerEntry
+	}
+	if over.TCMPairCost > 0 {
+		base.TCMPairCost = over.TCMPairCost
+	}
+	if over.LockServiceCost > 0 {
+		base.LockServiceCost = over.LockServiceCost
+	}
+	if over.BarrierServiceCost > 0 {
+		base.BarrierServiceCost = over.BarrierServiceCost
+	}
+	return base
+}
+
+// Closed-loop vocabulary: policies observe epoch snapshots and return
+// actions the session applies mid-run (see package internal/session).
+type (
+	// Policy is the pluggable observe→decide→act controller.
+	Policy = session.Policy
+	// Snapshot is the live profiling state at an epoch boundary.
+	Snapshot = session.Snapshot
+	// HotObject is one newly shared object in a snapshot.
+	HotObject = session.HotObject
+	// Action is one closed-loop decision (sealed vocabulary below).
+	Action = session.Action
+	// MigrateThread moves a thread at its next safe point.
+	MigrateThread = session.MigrateThread
+	// RehomeObject migrates an object's home node.
+	RehomeObject = session.RehomeObject
+	// SetSamplingRate retunes the uniform sampling rate cluster-wide.
+	SetSamplingRate = session.SetSamplingRate
+	// AppliedAction is one logged executed decision.
+	AppliedAction = session.AppliedAction
+	// NopPolicy is the passive baseline policy.
+	NopPolicy = session.NopPolicy
+	// RebalancePolicy is the shipped TCM-driven placement + hot-object
+	// home-rebalancing policy with sticky-set prefetch migration.
+	RebalancePolicy = session.RebalancePolicy
+)
+
+// NewRebalancePolicy returns the shipped closed-loop optimizer with its
+// default tuning.
+var NewRebalancePolicy = session.NewRebalancePolicy
+
+// Session lifecycle errors.
+var (
+	// ErrStarted rejects configuration calls after stepping has begun.
+	ErrStarted = session.ErrStarted
+	// ErrFinished rejects Run on a completed session.
+	ErrFinished = session.ErrFinished
+	// ErrNoWorkload rejects stepping before any Launch.
+	ErrNoWorkload = session.ErrNoWorkload
+	// ErrNotFinished rejects Report before completion.
+	ErrNotFinished = session.ErrNotFinished
+)
+
+// Session is an epoch-driven closed-loop run of the distributed JVM: the
+// primary API. Construction is chainable; configuration errors surface on
+// the first call that uses them.
+type Session struct {
+	s *session.Session
+}
+
+// NewSession builds a session from the config. An invalid configuration is
+// recorded and returned by the first Launch/Step/Run call.
+func NewSession(cfg Config) *Session {
+	return &Session{s: session.New(session.Config{
+		Kernel:   cfg.kernelConfig(),
+		Scenario: cfg.Scenario,
+		Epoch:    cfg.Epoch,
+	})}
 }
 
 // Kernel exposes the underlying DJVM (advanced use: allocation, custom
-// threads, migration).
-func (s *System) Kernel() *Kernel { return s.k }
+// threads, migration). Nil until construction succeeded.
+func (s *Session) Kernel() *Kernel { return s.s.Kernel() }
 
 // Phase exposes the workload phase register the scenario engine drives.
-func (s *System) Phase() *Phase { return s.phase }
+func (s *Session) Phase() *Phase { return s.s.Phase() }
 
 // Launch registers a workload's classes and spawns its threads. When a
-// scenario drives the system and the caller installed no register of its
-// own, the system's phase register rides along so phase-aware workloads
-// follow the scenario's phase shifts (without a scenario, workloads keep
-// their intrinsic phase schedules).
+// scenario drives the session and the caller installed no phase register
+// of its own, the session's register rides along so phase-aware workloads
+// follow the scenario's phase shifts.
+func (s *Session) Launch(w Workload, p Params) error { return s.s.Launch(w, p) }
+
+// AttachProfiling wires the profiling subsystems. Call after Launch and
+// before the first step.
+func (s *Session) AttachProfiling(cfg ProfileConfig) (*Profiler, error) {
+	p, err := s.s.AttachProfiling(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Profiler{p: p}, nil
+}
+
+// SetPolicy installs the closed-loop policy consulted at every epoch
+// boundary; nil clears it. Must precede the first step.
+func (s *Session) SetPolicy(p Policy) error { return s.s.SetPolicy(p) }
+
+// Step advances the run by one epoch and processes the boundary (snapshot,
+// policy Observe, actions). It reports completion; stepping a finished
+// session is a no-op returning true.
+func (s *Session) Step(epoch Time) (bool, error) { return s.s.Step(epoch) }
+
+// RunUntil advances the run to absolute virtual time t, processing epoch
+// boundaries every Config.Epoch when a policy is installed.
+func (s *Session) RunUntil(t Time) (bool, error) { return s.s.RunUntil(t) }
+
+// Run executes the session to completion — stepping in Config.Epoch
+// increments when a policy is installed — and returns the report.
+func (s *Session) Run() (*Report, error) {
+	if _, err := s.s.Run(); err != nil {
+		return nil, err
+	}
+	return &Report{s: s.s}, nil
+}
+
+// Snapshot captures the live profiling state at the current pause point
+// without charging simulated CPU: observing a paused run does not change it.
+func (s *Session) Snapshot() *Snapshot { return s.s.Snapshot() }
+
+// Done reports whether the run has completed.
+func (s *Session) Done() bool { return s.s.Done() }
+
+// Now returns the current virtual time.
+func (s *Session) Now() Time { return s.s.Now() }
+
+// Epochs reports how many epoch boundaries have been processed.
+func (s *Session) Epochs() int { return s.s.Epochs() }
+
+// Actions returns the log of executed policy decisions.
+func (s *Session) Actions() []AppliedAction { return s.s.Actions() }
+
+// MigrationHistory returns the completed thread migrations in order.
+func (s *Session) MigrationHistory() []MigrationOutcome {
+	return append([]MigrationOutcome(nil), s.s.MigrationEngine().History...)
+}
+
+// Report returns the completed run's report, or ErrNotFinished while the
+// run is still in progress.
+func (s *Session) Report() (*Report, error) {
+	if err := s.s.Finished(); err != nil {
+		return nil, err
+	}
+	return &Report{s: s.s}, nil
+}
+
+// --- deprecated one-shot facade ---------------------------------------------
+
+// System is the classic post-hoc facade: one Launch/AttachProfiling/Run
+// cycle over a single-epoch session.
+//
+// Deprecated: use Session, whose misuse returns errors. System keeps its
+// historical panics for compatibility.
+type System struct {
+	sess *Session
+	ran  bool
+}
+
+// New builds a system from the config. It panics on an invalid scenario
+// (Session records the error instead).
+func New(cfg Config) *System {
+	sess := NewSession(cfg)
+	if err := sess.s.Err(); err != nil {
+		panic(err)
+	}
+	return &System{sess: sess}
+}
+
+// Kernel exposes the underlying DJVM.
+func (s *System) Kernel() *Kernel { return s.sess.Kernel() }
+
+// Phase exposes the workload phase register the scenario engine drives.
+func (s *System) Phase() *Phase { return s.sess.Phase() }
+
+// Session exposes the underlying session (migration aid).
+func (s *System) Session() *Session { return s.sess }
+
+// Launch registers a workload's classes and spawns its threads. It panics
+// after Run.
 func (s *System) Launch(w Workload, p Params) *System {
 	if s.ran {
 		panic("jessica2: Launch after Run")
 	}
-	if p.Phase == nil && s.scripted {
-		p.Phase = s.phase
+	if err := s.sess.Launch(w, p); err != nil {
+		panic(err)
 	}
-	w.Launch(s.k, p)
-	s.loads = append(s.loads, w)
 	return s
 }
 
-// AttachProfiling wires the profiling subsystems. Call after Launch.
+// AttachProfiling wires the profiling subsystems. Call after Launch; it
+// panics after Run.
 func (s *System) AttachProfiling(cfg ProfileConfig) *Profiler {
 	if s.ran {
 		panic("jessica2: AttachProfiling after Run")
 	}
-	s.profiler = core.Attach(s.k, cfg)
-	return &Profiler{p: s.profiler}
+	p, err := s.sess.AttachProfiling(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
-// Run executes the simulation to completion and returns the report.
+// Run executes the simulation to completion and returns the report. It
+// panics when called twice.
 func (s *System) Run() *Report {
 	if s.ran {
 		panic("jessica2: Run called twice")
 	}
 	s.ran = true
-	s.execTime = s.k.Run()
-	s.k.FlushAllOAL()
-	return s.Report()
+	rep, err := s.sess.Run()
+	if err != nil {
+		panic(err)
+	}
+	return rep
 }
 
-// Report summarizes the finished run.
+// Report summarizes the run (live counters before Run completes).
 func (s *System) Report() *Report {
-	return &Report{sys: s}
+	return &Report{s: s.sess.s}
 }
 
 // Profiler wraps the attached profiling subsystem.
@@ -352,54 +589,48 @@ func (p *Profiler) Core() *core.Profiler { return p.p }
 
 // Report gives access to run results.
 type Report struct {
-	sys *System
+	s *session.Session
 }
 
 // ExecTime is the workload execution time (paper tables' metric).
-func (r *Report) ExecTime() Time { return r.sys.execTime }
+func (r *Report) ExecTime() Time { return r.s.ExecTime() }
 
 // TCM builds the thread correlation map from all collected OALs.
-func (r *Report) TCM() *TCM {
-	m, _ := r.sys.k.TCM()
-	return m
-}
+func (r *Report) TCM() *TCM { return r.s.TCMNow() }
 
 // KernelStats returns protocol/profiling counters.
-func (r *Report) KernelStats() gos.KernelStats { return r.sys.k.Stats() }
+func (r *Report) KernelStats() gos.KernelStats { return r.s.Kernel().Stats() }
 
 // NetworkStats returns per-category traffic stats.
-func (r *Report) NetworkStats() network.Stats { return r.sys.k.Net.Stats() }
+func (r *Report) NetworkStats() network.Stats { return r.s.Kernel().Net.Stats() }
 
 // OALBytes is profiling traffic volume.
 func (r *Report) OALBytes() int64 {
-	st := r.sys.k.Net.Stats()
+	st := r.s.Kernel().Net.Stats()
 	return st.CatBytes(network.CatOAL)
 }
 
 // GOSBytes is protocol traffic volume (data + control + headers).
 func (r *Report) GOSBytes() int64 {
-	st := r.sys.k.Net.Stats()
+	st := r.s.Kernel().Net.Stats()
 	return st.CatBytes(network.CatGOSData) + st.CatBytes(network.CatControl) + st.HeaderBytesTotal
 }
 
 // TCMComputeTime is the master analyzer's CPU (dedicated machine).
-func (r *Report) TCMComputeTime() Time { return r.sys.k.Master().ComputeTime() }
+func (r *Report) TCMComputeTime() Time { return r.s.Kernel().Master().ComputeTime() }
 
 // HomeAffinity exports the thread×node shared-volume matrix (the "home
 // effect" input for home-aware placement planning).
 func (r *Report) HomeAffinity() [][]float64 {
-	k := r.sys.k
-	return k.Master().HomeAffinity(len(k.Threads()), k.NumNodes())
+	k := r.s.Kernel()
+	return k.Master().HomeAffinity(k.NumThreads(), k.NumNodes())
 }
 
 // String renders a human-readable summary.
 func (r *Report) String() string {
 	var sb strings.Builder
 	st := r.KernelStats()
-	names := make([]string, 0, len(r.sys.loads))
-	for _, w := range r.sys.loads {
-		names = append(names, w.Name())
-	}
+	names := r.s.Workloads()
 	fmt.Fprintf(&sb, "workloads:         %s\n", strings.Join(names, ", "))
 	fmt.Fprintf(&sb, "execution time:    %v\n", r.ExecTime())
 	fmt.Fprintf(&sb, "intervals:         %d\n", st.Intervals)
@@ -436,7 +667,7 @@ type HomeMove = gos.HomeMove
 // correlation state: objects whose accessors all run on one node, homed
 // elsewhere, should move there.
 func (r *Report) AdviseHomeMigrations(assignment Assignment, minBytes int) []HomeMove {
-	k := r.sys.k
+	k := r.s.Kernel()
 	return k.AdviseHomes(k.Master().Summary(), assignment, minBytes)
 }
 
@@ -450,6 +681,8 @@ var LocalVolume = balancer.LocalVolume
 var BlockedPlacement = balancer.Blocked
 
 // NewMigrationEngine builds a migration engine over a system's kernel.
+// Session users get one implicitly via MigrateThread actions and
+// MigrationHistory.
 func NewMigrationEngine(s *System) *migration.Engine {
-	return migration.NewEngine(s.k, migration.DefaultConfig())
+	return migration.NewEngine(s.Kernel(), migration.DefaultConfig())
 }
