@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test test-race bench demo-closedloop clean
+.PHONY: verify build vet test test-race bench bench-seq demo-closedloop clean
 
 verify: build vet test
 
@@ -23,10 +23,19 @@ test-race:
 	go test -race ./...
 
 # bench runs the Go benchmarks (allocs/op is the regression metric; see
-# EXPERIMENTS.md) and writes the machine-readable djvmbench report.
+# EXPERIMENTS.md) and writes the machine-readable djvmbench report. The
+# experiment regenerations fan out over the parallel runner (GOMAXPROCS
+# workers); results are byte-identical to sequential, only wall-clock moves.
 bench:
 	go test -bench=. -benchmem -run '^$$' ./...
 	go run ./cmd/djvmbench -benchjson $(BENCH) -scale $(SCALE)
+
+# bench-seq is the single-threaded escape hatch: perf artifacts captured on
+# the classic sequential path (one worker, GOMAXPROCS pinned per run), for
+# baselines and for machines where fan-out would only add scheduler noise.
+bench-seq:
+	JESSICA2_PARALLEL=1 go test -bench=. -benchmem -run '^$$' ./...
+	go run ./cmd/djvmbench -benchjson $(BENCH) -scale $(SCALE) -parallel 1
 
 # demo-closedloop runs the closed-loop session demo: KVMix under the phased
 # scenario, rebalance policy over 8 epochs, baseline vs closed-loop exec

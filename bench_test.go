@@ -6,12 +6,15 @@
 package jessica2_test
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"jessica2"
 	"jessica2/internal/experiments"
 	"jessica2/internal/gos"
 	"jessica2/internal/heap"
+	"jessica2/internal/runner"
 	"jessica2/internal/sampling"
 	"jessica2/internal/stack"
 	"jessica2/internal/sticky"
@@ -19,6 +22,22 @@ import (
 )
 
 const benchScale = experiments.Scale(8)
+
+// benchPool drives every table/figure regeneration below through the
+// parallel experiment runner. JESSICA2_PARALLEL overrides the worker count
+// (GOMAXPROCS by default); `make bench-seq` sets it to 1 so perf artifacts
+// can still be captured on the classic single-threaded path. Results are
+// byte-identical either way (asserted by TestParallelRegenerationIdentity);
+// only wall-clock moves.
+var benchPool = runner.New(envParallelism())
+
+func envParallelism() int {
+	n, err := strconv.Atoi(os.Getenv("JESSICA2_PARALLEL"))
+	if err != nil {
+		return 0 // runner default: GOMAXPROCS
+	}
+	return n
+}
 
 // BenchmarkTable1Characteristics regenerates Table I.
 func BenchmarkTable1Characteristics(b *testing.B) {
@@ -32,7 +51,7 @@ func BenchmarkTable1Characteristics(b *testing.B) {
 // BenchmarkTable2OALCollection regenerates Table II (collection CPU cost).
 func BenchmarkTable2OALCollection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table2(benchScale)
+		r := experiments.Table2(benchScale, benchPool)
 		base := r.BaselineMs[experiments.AppBarnesHut]
 		full := r.WithMs[experiments.AppBarnesHut][sampling.FullRate]
 		b.ReportMetric((full-base)/base*100, "bh-full-overhead-%")
@@ -43,7 +62,7 @@ func BenchmarkTable2OALCollection(b *testing.B) {
 // message volumes, TCM computing time).
 func BenchmarkTable3CorrelationTracking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table3(benchScale)
+		r := experiments.Table3(benchScale, benchPool)
 		cell := r.Cells[experiments.AppBarnesHut][sampling.FullRate]
 		b.ReportMetric(cell.OALShare*100, "bh-oal-share-%")
 		b.ReportMetric(cell.TCMTimeMs, "bh-tcm-ms")
@@ -53,7 +72,7 @@ func BenchmarkTable3CorrelationTracking(b *testing.B) {
 // BenchmarkTable4StickyAccuracy regenerates Table IV (footprint accuracy).
 func BenchmarkTable4StickyAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table4(benchScale)
+		r := experiments.Table4(benchScale, benchPool)
 		var worst = 1.0
 		for _, row := range r.Rows {
 			if row.Accuracy < worst {
@@ -68,7 +87,7 @@ func BenchmarkTable4StickyAccuracy(b *testing.B) {
 // footprinting and resolution overheads).
 func BenchmarkTable5StickyOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table5(benchScale)
+		r := experiments.Table5(benchScale, benchPool)
 		base := r.BaselineMs[experiments.AppBarnesHut]
 		lazy := r.StackMs[experiments.AppBarnesHut]["lazy16"]
 		b.ReportMetric((lazy-base)/base*100, "bh-stack-lazy16-%")
@@ -78,7 +97,7 @@ func BenchmarkTable5StickyOverhead(b *testing.B) {
 // BenchmarkFig9Accuracy regenerates Figure 9 (accuracy vs sampling rate).
 func BenchmarkFig9Accuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig9(benchScale)
+		r := experiments.Fig9(benchScale, benchPool)
 		b.ReportMetric(r.MinAccuracyABS(experiments.AppBarnesHut)*100, "bh-min-accuracy-%")
 	}
 }
@@ -86,7 +105,7 @@ func BenchmarkFig9Accuracy(b *testing.B) {
 // BenchmarkFig1InherentVsInduced regenerates Figure 1 (false sharing).
 func BenchmarkFig1InherentVsInduced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig1(benchScale)
+		r := experiments.Fig1(benchScale, benchPool)
 		b.ReportMetric(experiments.GalaxyContrast(r.Inherent), "inherent-contrast")
 		b.ReportMetric(experiments.GalaxyContrast(r.Induced), "induced-contrast")
 	}

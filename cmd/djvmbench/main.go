@@ -6,15 +6,23 @@
 //	djvmbench -all                    # every table and figure, paper scale
 //	djvmbench -table 2 -scale 4       # one table at 1/4 dataset scale
 //	djvmbench -fig 9 -csv             # figure 9 as CSV series
+//	djvmbench -all -parallel 4        # fan runs out over 4 workers
 //	djvmbench -benchjson BENCH_current.json # machine-readable perf report
 //
 // Paper scale (-scale 1) reproduces the exact datasets (SOR 2K×2K,
 // Barnes-Hut 4K bodies, Water-Spatial 512 molecules); larger -scale values
 // shrink datasets proportionally for quick runs.
 //
+// Every experiment is a set of independent seed-deterministic simulations;
+// -parallel N fans them out over N workers (default GOMAXPROCS) through the
+// parallel experiment runner and collects results in submission order, so
+// the rendered tables and figures are byte-identical to -parallel 1 — only
+// regeneration wall-clock changes.
+//
 // -benchjson measures every table/figure regeneration with the testing
 // package's benchmark driver and writes ns/op, bytes/op and allocs/op per
-// experiment as a single-run JSON report. A PR claiming a perf delta
+// experiment — plus the total regeneration wall-clock and the parallelism
+// it ran at — as a single-run JSON report. A PR claiming a perf delta
 // combines two such runs under "baseline"/"optimized" keys in its committed
 // BENCH_<pr>.json artifact (see EXPERIMENTS.md and BENCH_1.json).
 package main
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"jessica2/internal/experiments"
+	"jessica2/internal/runner"
 )
 
 // benchResult is one experiment's measurement in the -benchjson report.
@@ -42,29 +51,58 @@ type benchResult struct {
 
 // benchReport is the top-level -benchjson document.
 type benchReport struct {
-	Scale      int           `json:"scale"`
-	GoVersion  string        `json:"go_version"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Scale     int    `json:"scale"`
+	GoVersion string `json:"go_version"`
+	// Parallel is the runner pool width the experiments ran at; CPUs is the
+	// host's GOMAXPROCS, for judging how much fan-out could actually bite.
+	Parallel int `json:"parallel"`
+	CPUs     int `json:"cpus"`
+	// WallClockMs is the end-to-end wall-clock of regenerating everything
+	// once, back to back — the number the parallel runner exists to shrink.
+	WallClockMs float64       `json:"wall_clock_ms"`
+	Benchmarks  []benchResult `json:"benchmarks"`
 }
 
-// writeBenchJSON benchmarks every table and figure at the given scale and
-// writes the report to path.
-func writeBenchJSON(path string, sc experiments.Scale) error {
-	cases := []struct {
+// benchCases lists every regeneration the report measures.
+func benchCases(sc experiments.Scale, p *runner.Pool) []struct {
+	name string
+	fn   func()
+} {
+	return []struct {
 		name string
 		fn   func()
 	}{
 		{"Table1", func() { experiments.Table1(sc) }},
-		{"Table2", func() { experiments.Table2(sc) }},
-		{"Table3", func() { experiments.Table3(sc) }},
-		{"Table4", func() { experiments.Table4(sc) }},
-		{"Table5", func() { experiments.Table5(sc) }},
-		{"Fig9", func() { experiments.Fig9(sc) }},
-		{"Fig1", func() { experiments.Fig1(sc) }},
-		{"FigS", func() { experiments.FigS(sc) }},
-		{"FigCL", func() { experiments.FigCL(sc) }},
+		{"Table2", func() { experiments.Table2(sc, p) }},
+		{"Table3", func() { experiments.Table3(sc, p) }},
+		{"Table4", func() { experiments.Table4(sc, p) }},
+		{"Table5", func() { experiments.Table5(sc, p) }},
+		{"Fig9", func() { experiments.Fig9(sc, p) }},
+		{"Fig1", func() { experiments.Fig1(sc, p) }},
+		{"FigS", func() { experiments.FigS(sc, p) }},
+		{"FigCL", func() { experiments.FigCL(sc, p) }},
 	}
-	report := benchReport{Scale: int(sc), GoVersion: runtime.Version()}
+}
+
+// writeBenchJSON benchmarks every table and figure at the given scale and
+// parallelism and writes the report to path.
+func writeBenchJSON(path string, sc experiments.Scale, p *runner.Pool) error {
+	cases := benchCases(sc, p)
+	report := benchReport{
+		Scale:     int(sc),
+		GoVersion: runtime.Version(),
+		Parallel:  p.Workers(),
+		CPUs:      runtime.GOMAXPROCS(0),
+	}
+	// One timed end-to-end regeneration pass for the wall-clock headline.
+	start := time.Now()
+	for _, c := range cases {
+		c.fn()
+	}
+	report.WallClockMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	fmt.Printf("full regeneration (scale 1/%d, parallel %d): %v\n",
+		int(sc), p.Workers(), time.Since(start).Round(time.Millisecond))
+
 	for _, c := range cases {
 		fmt.Printf("benchmarking %s (scale 1/%d)...\n", c.name, int(sc))
 		r := testing.Benchmark(func(b *testing.B) {
@@ -97,12 +135,18 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate everything")
 		scale     = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		parallel  = flag.Int("parallel", 0, "experiment runner workers (0 = GOMAXPROCS, 1 = sequential)")
 		benchjson = flag.String("benchjson", "", "benchmark every table/figure and write JSON perf report to this file")
 	)
 	flag.Parse()
 	sc := experiments.Scale(*scale)
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "djvmbench: negative -parallel %d\n", *parallel)
+		os.Exit(2)
+	}
+	pool := runner.New(*parallel)
 	if *benchjson != "" {
-		if err := writeBenchJSON(*benchjson, sc); err != nil {
+		if err := writeBenchJSON(*benchjson, sc, pool); err != nil {
 			fmt.Fprintln(os.Stderr, "djvmbench:", err)
 			os.Exit(1)
 		}
@@ -136,27 +180,27 @@ func main() {
 		run("Table I", func() { emit(experiments.Table1(sc)) })
 	}
 	if *all || *table == 2 {
-		run("Table II", func() { emit(experiments.Table2(sc).Table()) })
+		run("Table II", func() { emit(experiments.Table2(sc, pool).Table()) })
 	}
 	if *all || *table == 3 {
-		run("Table III", func() { emit(experiments.Table3(sc).Table()) })
+		run("Table III", func() { emit(experiments.Table3(sc, pool).Table()) })
 	}
 	if *all || *table == 4 {
-		run("Table IV", func() { emit(experiments.Table4(sc).Table()) })
+		run("Table IV", func() { emit(experiments.Table4(sc, pool).Table()) })
 	}
 	if *all || *table == 5 {
-		run("Table V", func() { emit(experiments.Table5(sc).Table()) })
+		run("Table V", func() { emit(experiments.Table5(sc, pool).Table()) })
 	}
 	if *all || *fig == 9 {
-		run("Figure 9", func() { emit(experiments.Fig9(sc).Table()) })
+		run("Figure 9", func() { emit(experiments.Fig9(sc, pool).Table()) })
 	}
 	if *all || *fig == 1 {
-		run("Figure 1", func() { fmt.Println(experiments.Fig1(sc)) })
+		run("Figure 1", func() { fmt.Println(experiments.Fig1(sc, pool)) })
 	}
 	if *all || *figS {
-		run("Figure S", func() { emit(experiments.FigS(sc).Table()) })
+		run("Figure S", func() { emit(experiments.FigS(sc, pool).Table()) })
 	}
 	if *all || *figCL {
-		run("Figure CL", func() { emit(experiments.FigCL(sc).Table()) })
+		run("Figure CL", func() { emit(experiments.FigCL(sc, pool).Table()) })
 	}
 }

@@ -19,9 +19,16 @@
 // measures the baseline execution time, the run is split into -epochs
 // epochs (or stepped every -epoch if given), and the policy observes and
 // acts at every epoch boundary. Both execution times are reported.
+//
+// -seeds N replicates the run over N consecutive seeds (seed, seed+1, ...)
+// for quick variance checks; -parallel fans the replicas out over the
+// experiment runner's worker pool (default GOMAXPROCS). Reports are
+// buffered per seed and printed in seed order, so the output is
+// byte-identical at any parallelism.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +37,7 @@ import (
 	"strings"
 
 	"jessica2"
+	"jessica2/internal/runner"
 )
 
 // runConfig is one fully parsed and validated invocation.
@@ -45,11 +53,12 @@ type runConfig struct {
 	showTCM   bool
 	plan      bool
 	scenSpec  string
-	scenario  *jessica2.Scenario
-	policy    jessica2.Policy
 	policyTag string
 	epochs    int
 	epoch     jessica2.Time
+	seeds     int
+	parallel  int
+	scenSeed  uint64 // 0 = follow the workload seed
 }
 
 // newWorkload instantiates the named benchmark (fresh instance per call so
@@ -105,6 +114,8 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		policy    = fs.String("policy", "none", "closed-loop policy: none | nop | rebalance")
 		epochs    = fs.Int("epochs", 8, "closed-loop epoch count (epoch length = baseline exec / epochs)")
 		epoch     = fs.Duration("epoch", 0, "explicit closed-loop epoch length (overrides -epochs; skips the pilot run)")
+		seeds     = fs.Int("seeds", 1, "replicate the run over N consecutive seeds")
+		parallel  = fs.Int("parallel", 0, "worker pool for -seeds replicas (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -115,6 +126,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		showTCM: *showTCM, plan: *plan, scenSpec: *scenSpec,
 		policyTag: strings.ToLower(*policy),
 		epochs:    *epochs, epoch: jessica2.Time(epoch.Nanoseconds()),
+		seeds: *seeds, parallel: *parallel,
 	}
 	if _, err := newWorkload(rc.app); err != nil {
 		return nil, err
@@ -137,43 +149,54 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		}
 		rc.rate = jessica2.Rate(n)
 	}
-	ss := *scenSeed
+	// Validate-only construction: runSeed rebuilds a fresh scenario and
+	// policy per replica (seeded state must not be shared across concurrent
+	// seed jobs), so the parsed instances are discarded here on purpose.
+	rc.scenSeed = *scenSeed
+	ss := rc.scenSeed
 	if ss == 0 {
 		ss = rc.seed
 	}
-	scen, err := jessica2.ParseScenario(rc.scenSpec, rc.nodes, ss)
+	if _, err := jessica2.ParseScenario(rc.scenSpec, rc.nodes, ss); err != nil {
+		return nil, err
+	}
+	pol, err := newPolicy(rc.policyTag)
 	if err != nil {
 		return nil, err
 	}
-	rc.scenario = scen
-	if rc.policy, err = newPolicy(rc.policyTag); err != nil {
-		return nil, err
-	}
-	if rc.policy != nil && rc.epoch <= 0 && rc.epochs < 1 {
+	if pol != nil && rc.epoch <= 0 && rc.epochs < 1 {
 		return nil, fmt.Errorf("-policy %s needs -epochs >= 1 or an explicit -epoch", rc.policyTag)
 	}
 	if rc.epoch < 0 {
 		return nil, fmt.Errorf("negative -epoch")
+	}
+	if rc.seeds < 1 {
+		return nil, fmt.Errorf("-seeds must be at least 1, got %d", rc.seeds)
+	}
+	if rc.parallel < 0 {
+		return nil, fmt.Errorf("negative -parallel")
 	}
 	return rc, nil
 }
 
 // buildSession assembles one session for the config; policy installs the
 // closed-loop controller (nil = plain run) with the given epoch length.
-func (rc *runConfig) buildSession(policy jessica2.Policy, epoch jessica2.Time) (*jessica2.Session, *jessica2.Profiler, error) {
+// Scenario, policy and seed are per-run arguments because -seeds replicas
+// run concurrently and must not share stateful instances.
+func (rc *runConfig) buildSession(scen *jessica2.Scenario, policy jessica2.Policy, seed uint64, epoch jessica2.Time) (*jessica2.Session, *jessica2.Profiler, error) {
 	cfg := jessica2.DefaultConfig()
 	cfg.Nodes = rc.nodes
 	cfg.Epoch = epoch
 	if rc.rate == 0 {
 		cfg.Tracking = jessica2.TrackingOff
 	}
-	cfg.Scenario = rc.scenario
+	cfg.Scenario = scen
 	sess := jessica2.NewSession(cfg)
 	w, err := newWorkload(rc.app)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := sess.Launch(w, jessica2.Params{Threads: rc.threads, Seed: rc.seed}); err != nil {
+	if err := sess.Launch(w, jessica2.Params{Threads: rc.threads, Seed: seed}); err != nil {
 		return nil, nil, err
 	}
 	pc := jessica2.ProfileConfig{Rate: rc.rate}
@@ -201,17 +224,61 @@ func (rc *runConfig) buildSession(policy jessica2.Policy, epoch jessica2.Time) (
 	return sess, prof, nil
 }
 
-// execute runs the parsed invocation, writing the report to out.
+// execute runs the parsed invocation, writing the report to out. With
+// -seeds N > 1 the replicas fan out over the runner pool, each rendering
+// into its own buffer; buffers are printed in seed order so the combined
+// report is byte-identical at any parallelism.
 func (rc *runConfig) execute(out io.Writer) error {
+	if rc.seeds == 1 {
+		return rc.runSeed(rc.seed, out)
+	}
+	pool := runner.New(rc.parallel)
+	type result struct {
+		buf bytes.Buffer
+		err error
+	}
+	results := make([]result, rc.seeds)
+	runner.Go(pool, rc.seeds, func(i int) {
+		results[i].err = rc.runSeed(rc.seed+uint64(i), &results[i].buf)
+	})
+	for i := range results {
+		fmt.Fprintf(out, "===== seed %d =====\n", rc.seed+uint64(i))
+		if results[i].err != nil {
+			return results[i].err
+		}
+		if _, err := io.Copy(out, &results[i].buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSeed executes one replica of the invocation at the given seed.
+func (rc *runConfig) runSeed(seed uint64, out io.Writer) error {
+	// Fresh per-replica instances: the scenario's jitter stream follows the
+	// replica's seed (unless pinned by -scenario-seed), and policies may
+	// carry state across epochs.
+	ss := rc.scenSeed
+	if ss == 0 {
+		ss = seed
+	}
+	scen, err := jessica2.ParseScenario(rc.scenSpec, rc.nodes, ss)
+	if err != nil {
+		return err
+	}
+	policy, err := newPolicy(rc.policyTag)
+	if err != nil {
+		return err
+	}
 	scenName := "none"
-	if rc.scenario != nil {
-		scenName = rc.scenario.String()
+	if scen != nil {
+		scenName = scen.String()
 	}
 
 	epoch := rc.epoch
-	if rc.policy != nil && epoch <= 0 {
+	if policy != nil && epoch <= 0 {
 		// Pilot run: measure the baseline to calibrate the epoch length.
-		pilot, _, err := rc.buildSession(nil, 0)
+		pilot, _, err := rc.buildSession(scen, nil, seed, 0)
 		if err != nil {
 			return err
 		}
@@ -227,7 +294,7 @@ func (rc *runConfig) execute(out io.Writer) error {
 			rep.ExecTime(), epoch, rc.epochs)
 	}
 
-	sess, prof, err := rc.buildSession(rc.policy, epoch)
+	sess, prof, err := rc.buildSession(scen, policy, seed, epoch)
 	if err != nil {
 		return err
 	}
@@ -242,7 +309,7 @@ func (rc *runConfig) execute(out io.Writer) error {
 	fmt.Fprintf(out, "%s on %d nodes, %d threads (scenario: %s)\n\n%s\n",
 		w.Name(), rc.nodes, rc.threads, scenName, rep)
 
-	if rc.policy != nil {
+	if policy != nil {
 		var applied []jessica2.AppliedAction
 		for _, a := range sess.Actions() {
 			if a.Note == "" {
@@ -250,7 +317,7 @@ func (rc *runConfig) execute(out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "closed-loop policy %q: %d epochs, %d actions applied\n",
-			rc.policy.Name(), sess.Epochs(), len(applied))
+			policy.Name(), sess.Epochs(), len(applied))
 		const maxShown = 12
 		for i, a := range applied {
 			if i == maxShown {

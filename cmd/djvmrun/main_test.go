@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -21,8 +22,8 @@ func TestParseDefaults(t *testing.T) {
 	if rc.app != "sor" || rc.nodes != 8 || rc.threads != 8 || rc.seed != 42 {
 		t.Fatalf("defaults: %+v", rc)
 	}
-	if rc.rate != jessica2.FullRate || rc.policy != nil || rc.scenario != nil {
-		t.Fatalf("defaults: rate=%v policy=%v scenario=%v", rc.rate, rc.policy, rc.scenario)
+	if rc.rate != jessica2.FullRate || rc.policyTag != "none" || rc.scenSpec != "none" {
+		t.Fatalf("defaults: rate=%v policy=%v scenario=%v", rc.rate, rc.policyTag, rc.scenSpec)
 	}
 }
 
@@ -31,25 +32,28 @@ func TestParseAppScenarioPolicyEpochCombos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rc.app != "kv" || rc.scenario == nil || rc.policy == nil || rc.epochs != 8 {
+	if rc.app != "kv" || rc.scenSpec != "phased" || rc.policyTag != "rebalance" || rc.epochs != 8 {
 		t.Fatalf("combo: %+v", rc)
 	}
-	if rc.policy.Name() != "rebalance" {
-		t.Fatalf("policy: %s", rc.policy.Name())
+	if p, err := newPolicy(rc.policyTag); err != nil || p.Name() != "rebalance" {
+		t.Fatalf("policy: %v err=%v", p, err)
 	}
 
 	rc, err = parse(t, "-app", "lu", "-scenario", "hetero,noisy", "-policy", "nop", "-epoch", "5ms")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rc.policy.Name() != "nop" || rc.epoch != 5*jessica2.Millisecond {
-		t.Fatalf("nop/epoch: policy=%v epoch=%v", rc.policy.Name(), rc.epoch)
+	if rc.policyTag != "nop" || rc.epoch != 5*jessica2.Millisecond {
+		t.Fatalf("nop/epoch: policy=%v epoch=%v", rc.policyTag, rc.epoch)
 	}
 
 	// Policy "none" disables the closed loop regardless of epoch flags.
 	rc, err = parse(t, "-policy", "none", "-epochs", "4")
-	if err != nil || rc.policy != nil {
-		t.Fatalf("none: policy=%v err=%v", rc.policy, err)
+	if err != nil {
+		t.Fatalf("none: err=%v", err)
+	}
+	if p, _ := newPolicy(rc.policyTag); p != nil {
+		t.Fatalf("none resolved to policy %v", p)
 	}
 }
 
@@ -63,10 +67,58 @@ func TestParseRejections(t *testing.T) {
 		"zero threads":         {"-threads", "0"},
 		"policy without epoch": {"-policy", "rebalance", "-epochs", "0"},
 		"unknown flag":         {"-frobnicate"},
+		"zero seeds":           {"-seeds", "0"},
+		"negative seeds":       {"-seeds", "-2"},
+		"negative parallel":    {"-parallel", "-1"},
 	}
 	for name, args := range cases {
 		if _, err := parse(t, args...); err == nil {
 			t.Errorf("%s (%v): accepted", name, args)
+		}
+	}
+}
+
+func TestParseSeedsParallelDefaults(t *testing.T) {
+	rc, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.seeds != 1 || rc.parallel != 0 {
+		t.Fatalf("defaults: seeds=%d parallel=%d", rc.seeds, rc.parallel)
+	}
+	rc, err = parse(t, "-seeds", "4", "-parallel", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.seeds != 4 || rc.parallel != 2 {
+		t.Fatalf("flags: seeds=%d parallel=%d", rc.seeds, rc.parallel)
+	}
+}
+
+// TestExecuteSeedsParallelIdentity: the multi-seed replication must render
+// byte-identical combined reports sequentially and fanned out, with one
+// header per seed in ascending order.
+func TestExecuteSeedsParallelIdentity(t *testing.T) {
+	run := func(parallel int) string {
+		rc, err := parse(t,
+			"-app", "kv", "-threads", "4", "-nodes", "2", "-tcm=false",
+			"-seeds", "3", "-parallel", fmt.Sprint(parallel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := rc.execute(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	seq, par := run(1), run(4)
+	if seq != par {
+		t.Fatalf("parallel seed replication diverged from sequential:\n--- seq\n%s\n--- par\n%s", seq, par)
+	}
+	for _, want := range []string{"===== seed 42 =====", "===== seed 43 =====", "===== seed 44 ====="} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("combined report missing %q", want)
 		}
 	}
 }

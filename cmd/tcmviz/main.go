@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,37 +19,76 @@ import (
 	"jessica2/internal/gos"
 )
 
-func main() {
-	var (
-		app     = flag.String("app", "bh", "benchmark: sor | bh | water")
-		threads = flag.Int("threads", 32, "worker threads")
-		nodes   = flag.Int("nodes", 8, "cluster nodes")
-		scale   = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
-		seed    = flag.Uint64("seed", 42, "workload seed")
-	)
-	flag.Parse()
+// vizConfig is one fully parsed and validated invocation.
+type vizConfig struct {
+	app     experiments.App
+	threads int
+	nodes   int
+	scale   int
+	seed    uint64
+}
 
-	var a experiments.App
+// parseArgs parses and validates a full command line (excluding argv[0]).
+func parseArgs(args []string, errOut io.Writer) (*vizConfig, error) {
+	fs := flag.NewFlagSet("tcmviz", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		app     = fs.String("app", "bh", "benchmark: sor | bh | water")
+		threads = fs.Int("threads", 32, "worker threads")
+		nodes   = fs.Int("nodes", 8, "cluster nodes")
+		scale   = fs.Int("scale", 1, "dataset divisor (1 = paper scale)")
+		seed    = fs.Uint64("seed", 42, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	vc := &vizConfig{threads: *threads, nodes: *nodes, scale: *scale, seed: *seed}
 	switch strings.ToLower(*app) {
 	case "sor":
-		a = experiments.AppSOR
+		vc.app = experiments.AppSOR
 	case "bh", "barnes-hut":
-		a = experiments.AppBarnesHut
+		vc.app = experiments.AppBarnesHut
 	case "water", "ws":
-		a = experiments.AppWaterSpatial
+		vc.app = experiments.AppWaterSpatial
 	default:
-		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
-		os.Exit(2)
+		return nil, fmt.Errorf("unknown app %q", *app)
 	}
+	if vc.threads < 1 {
+		return nil, fmt.Errorf("need at least one thread, got %d", vc.threads)
+	}
+	if vc.nodes < 1 {
+		return nil, fmt.Errorf("need at least one node, got %d", vc.nodes)
+	}
+	if vc.scale < 1 {
+		return nil, fmt.Errorf("-scale must be at least 1, got %d", vc.scale)
+	}
+	return vc, nil
+}
 
-	out := experiments.Run(experiments.Spec{
-		App: a, Scale: experiments.Scale(*scale),
-		Nodes: *nodes, Threads: *threads, Seed: *seed,
+// execute runs the configured workload under exact + page-based tracking
+// and renders both heat maps to out.
+func (vc *vizConfig) execute(out io.Writer) error {
+	o := experiments.Run(experiments.Spec{
+		App: vc.app, Scale: experiments.Scale(vc.scale),
+		Nodes: vc.nodes, Threads: vc.threads, Seed: vc.seed,
 		Tracking: gos.TrackingExact, TransferOALs: true, PageTracker: true,
 	})
-	fmt.Printf("%s, %d threads on %d nodes (exact + page-based tracking)\n\n", a, *threads, *nodes)
-	fmt.Printf("(a) inherent pattern — fine-grained tracking (galaxy contrast %.2fx)\n%s\n",
-		experiments.GalaxyContrast(out.TCM), out.TCM)
-	fmt.Printf("(b) induced pattern — page-based tracking (galaxy contrast %.2fx)\n%s",
-		experiments.GalaxyContrast(out.PageTCM), out.PageTCM)
+	fmt.Fprintf(out, "%s, %d threads on %d nodes (exact + page-based tracking)\n\n", vc.app, vc.threads, vc.nodes)
+	fmt.Fprintf(out, "(a) inherent pattern — fine-grained tracking (galaxy contrast %.2fx)\n%s\n",
+		experiments.GalaxyContrast(o.TCM), o.TCM)
+	fmt.Fprintf(out, "(b) induced pattern — page-based tracking (galaxy contrast %.2fx)\n%s",
+		experiments.GalaxyContrast(o.PageTCM), o.PageTCM)
+	return nil
+}
+
+func main() {
+	vc, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := vc.execute(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

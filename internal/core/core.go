@@ -351,12 +351,32 @@ func (p *Profiler) startAdaptiveDaemon(cfg AdaptiveConfig) {
 // the current per-thread sticky-set footprint estimates. Reading the views
 // charges no simulated CPU — observing a paused run must not change it.
 func (p *Profiler) LiveViews() (trace []RateChange, footprints map[int]sticky.Footprint) {
-	trace = append([]RateChange(nil), p.RateTrace...)
-	if len(p.Footprinters) > 0 {
+	return p.LiveViewsInto(nil, nil)
+}
+
+// LiveViewsInto is LiveViews with caller-owned scratch: the trace is
+// rebuilt in trace[:0] and the footprint maps (outer and per-thread) are
+// cleared and refilled in place, so a session observing every epoch
+// boundary allocates nothing at steady state. The returned views alias the
+// scratch and are valid until the next call with the same buffers.
+func (p *Profiler) LiveViewsInto(trace []RateChange, footprints map[int]sticky.Footprint) ([]RateChange, map[int]sticky.Footprint) {
+	trace = append(trace[:0], p.RateTrace...)
+	if len(p.Footprinters) == 0 {
+		return trace, nil
+	}
+	if footprints == nil {
 		footprints = make(map[int]sticky.Footprint, len(p.Footprinters))
-		for tid, fp := range p.Footprinters {
-			footprints[tid] = fp.Footprint()
+	}
+	// Drop entries for threads no longer profiled so reused scratch never
+	// resurfaces a stale view (today Footprinters only grows, but the
+	// contract must not depend on that).
+	for tid := range footprints {
+		if _, ok := p.Footprinters[tid]; !ok {
+			delete(footprints, tid)
 		}
+	}
+	for tid, fp := range p.Footprinters {
+		footprints[tid] = fp.FootprintInto(footprints[tid])
 	}
 	return trace, footprints
 }

@@ -6,6 +6,7 @@ import (
 	"jessica2/internal/core"
 	"jessica2/internal/gos"
 	"jessica2/internal/metrics"
+	"jessica2/internal/runner"
 	"jessica2/internal/sampling"
 	"jessica2/internal/scenario"
 	"jessica2/internal/session"
@@ -146,10 +147,12 @@ func figCLRun(w workload.Workload, scenName string, seed uint64, policy session.
 	return s, exec
 }
 
-// FigCL runs the closed-loop sweep at the given dataset scale.
-func FigCL(sc Scale) *FigCLResult {
+// FigCL runs the closed-loop sweep at the given dataset scale. The sweep
+// is two waves of independent session runs submitted through the pool: the
+// policy modes calibrate their epoch lengths from the baseline's execution
+// time, so the four baselines fan out first, then all eight policy runs.
+func FigCL(sc Scale, p *runner.Pool) *FigCLResult {
 	const seed = 42
-	res := &FigCLResult{Scale: sc, Seed: seed}
 	loads := []struct {
 		name string
 		make func(Scale) workload.Workload
@@ -157,34 +160,81 @@ func FigCL(sc Scale) *FigCLResult {
 		{"KVMix", figCLKVMix},
 		{"Synthetic/zipf", figCLSynthetic},
 	}
+	// cellRun carries only the scalars the fold reads, so the sessions (a
+	// full kernel + registry + simulated heap each) are released as soon as
+	// their job returns instead of being pinned until the final fold.
+	type cellRun struct {
+		exec        sim.Time
+		faults      int64
+		homeMoves   int64
+		threadMoves int
+	}
+	summarize := func(s *session.Session, exec sim.Time) cellRun {
+		return cellRun{
+			exec:        exec,
+			faults:      s.Kernel().Stats().Faults,
+			homeMoves:   s.Kernel().Stats().HomeMigrations,
+			threadMoves: len(s.MigrationEngine().History),
+		}
+	}
+	type cell struct {
+		load string
+		make func(Scale) workload.Workload
+		scen string
+	}
+	var cells []cell
 	for _, ld := range loads {
 		for _, scen := range FigCLScenarios {
-			base, baseExec := figCLRun(ld.make(sc), scen, seed, nil, 0)
-			res.Rows = append(res.Rows, FigCLRow{
-				Workload: ld.name, Scenario: scen, Mode: "none", Epochs: 1,
-				Exec: baseExec, Speedup: 1,
-				Faults: base.Kernel().Stats().Faults,
-			})
-
-			add := func(mode string, epochs int, s *session.Session, exec sim.Time) {
-				row := FigCLRow{
-					Workload: ld.name, Scenario: scen, Mode: mode, Epochs: epochs,
-					Exec:    exec,
-					Speedup: float64(baseExec) / float64(exec),
-					Faults:  s.Kernel().Stats().Faults,
-				}
-				row.HomeMoves = s.Kernel().Stats().HomeMigrations
-				row.ThreadMoves = len(s.MigrationEngine().History)
-				res.Rows = append(res.Rows, row)
-			}
-
-			oneShot := &oncePolicy{inner: session.NewRebalancePolicy()}
-			s1, exec1 := figCLRun(ld.make(sc), scen, seed, oneShot, baseExec/2)
-			add("one-shot", 2, s1, exec1)
-
-			sN, execN := figCLRun(ld.make(sc), scen, seed, session.NewRebalancePolicy(), baseExec/FigCLEpochs)
-			add("closed-loop", FigCLEpochs, sN, execN)
+			cells = append(cells, cell{ld.name, ld.make, scen})
 		}
+	}
+
+	// Wave 1: baselines (no policy), one per cell.
+	baseJobs := make([]func() cellRun, len(cells))
+	for i := range cells {
+		c := cells[i]
+		baseJobs[i] = func() cellRun {
+			return summarize(figCLRun(c.make(sc), c.scen, seed, nil, 0))
+		}
+	}
+	bases := runner.Collect(p, baseJobs)
+
+	// Wave 2: per cell, the one-shot and closed-loop modes, with epoch
+	// lengths derived from that cell's baseline.
+	modeJobs := make([]func() cellRun, 0, 2*len(cells))
+	for i := range cells {
+		c, baseExec := cells[i], bases[i].exec
+		modeJobs = append(modeJobs,
+			func() cellRun {
+				oneShot := &oncePolicy{inner: session.NewRebalancePolicy()}
+				return summarize(figCLRun(c.make(sc), c.scen, seed, oneShot, baseExec/2))
+			},
+			func() cellRun {
+				return summarize(figCLRun(c.make(sc), c.scen, seed, session.NewRebalancePolicy(), baseExec/FigCLEpochs))
+			})
+	}
+	modes := runner.Collect(p, modeJobs)
+
+	res := &FigCLResult{Scale: sc, Seed: seed}
+	for i, c := range cells {
+		baseExec := bases[i].exec
+		res.Rows = append(res.Rows, FigCLRow{
+			Workload: c.load, Scenario: c.scen, Mode: "none", Epochs: 1,
+			Exec: baseExec, Speedup: 1,
+			Faults: bases[i].faults,
+		})
+		add := func(mode string, epochs int, r cellRun) {
+			res.Rows = append(res.Rows, FigCLRow{
+				Workload: c.load, Scenario: c.scen, Mode: mode, Epochs: epochs,
+				Exec:        r.exec,
+				Speedup:     float64(baseExec) / float64(r.exec),
+				Faults:      r.faults,
+				HomeMoves:   r.homeMoves,
+				ThreadMoves: r.threadMoves,
+			})
+		}
+		add("one-shot", 2, modes[2*i])
+		add("closed-loop", FigCLEpochs, modes[2*i+1])
 	}
 	return res
 }

@@ -7,7 +7,7 @@ import "testing"
 // every epoch must strictly beat the passive baseline, and acting at every
 // epoch must not lose to acting once.
 func TestFigCLClosedLoopWins(t *testing.T) {
-	res := FigCL(testScale)
+	res := FigCL(testScale, nil)
 	wantRows := 2 * len(FigCLScenarios) * 3
 	if len(res.Rows) != wantRows {
 		t.Fatalf("rows: got %d want %d", len(res.Rows), wantRows)

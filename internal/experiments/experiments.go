@@ -11,6 +11,7 @@ import (
 	"jessica2/internal/gos"
 	"jessica2/internal/network"
 	"jessica2/internal/pagesim"
+	"jessica2/internal/runner"
 	"jessica2/internal/sampling"
 	"jessica2/internal/scenario"
 	"jessica2/internal/sim"
@@ -238,6 +239,21 @@ func Run(spec Spec) *Out {
 		}
 	}
 	return out
+}
+
+// RunAll executes the specs through the pool's worker fan-out and returns
+// the outcomes in submission order. Every spec is an independent,
+// seed-deterministic simulation (Run builds a private kernel, engine and
+// workload per call), so the collected results — and any table or figure
+// folded from them positionally — are byte-identical at any parallelism.
+// A nil pool runs the specs inline, exactly like the historical loops.
+func RunAll(p *runner.Pool, specs []Spec) []*Out {
+	jobs := make([]func() *Out, len(specs))
+	for i := range specs {
+		spec := specs[i]
+		jobs[i] = func() *Out { return Run(spec) }
+	}
+	return runner.Collect(p, jobs)
 }
 
 // The tracker implements gos.AccessObserver directly.

@@ -62,7 +62,7 @@ func TestTable1Renders(t *testing.T) {
 }
 
 func TestTable2OverheadsSmallAndOrdered(t *testing.T) {
-	r := Table2(testScale)
+	r := Table2(testScale, nil)
 	for _, a := range Apps {
 		base := r.BaselineMs[a]
 		if base <= 0 {
@@ -84,7 +84,7 @@ func TestTable2OverheadsSmallAndOrdered(t *testing.T) {
 }
 
 func TestTable3VolumesAndShape(t *testing.T) {
-	r := Table3(testScale)
+	r := Table3(testScale, nil)
 	for _, a := range Apps {
 		full := r.Cells[a][sampling.FullRate]
 		if full.OALKB <= 0 {
@@ -110,7 +110,7 @@ func TestTable3VolumesAndShape(t *testing.T) {
 }
 
 func TestFig9AccuracyClaims(t *testing.T) {
-	r := Fig9(testScale)
+	r := Fig9(testScale, nil)
 	for _, a := range Apps {
 		pts := r.Points[a]
 		if len(pts) != len(Fig9Rates) {
@@ -150,7 +150,7 @@ func TestFig9AccuracyClaims(t *testing.T) {
 }
 
 func TestFig1GalaxyContrast(t *testing.T) {
-	r := Fig1(testScale)
+	r := Fig1(testScale, nil)
 	inh := GalaxyContrast(r.Inherent)
 	ind := GalaxyContrast(r.Induced)
 	// The inherent map must show the two-galaxy block structure; the
@@ -167,7 +167,7 @@ func TestFig1GalaxyContrast(t *testing.T) {
 }
 
 func TestTable4FootprintAccuracy(t *testing.T) {
-	r := Table4(testScale)
+	r := Table4(testScale, nil)
 	if len(r.Rows) == 0 {
 		t.Fatal("no rows")
 	}
@@ -194,7 +194,7 @@ func TestTable4FootprintAccuracy(t *testing.T) {
 }
 
 func TestTable5OverheadShapes(t *testing.T) {
-	r := Table5(testScale)
+	r := Table5(testScale, nil)
 	for _, a := range Apps {
 		base := r.BaselineMs[a]
 		if base <= 0 {

@@ -6,6 +6,7 @@ import (
 
 	"jessica2/internal/gos"
 	"jessica2/internal/metrics"
+	"jessica2/internal/runner"
 	"jessica2/internal/sampling"
 	"jessica2/internal/tcm"
 )
@@ -33,15 +34,30 @@ var Fig9Rates = sampling.SweepRates(512)
 // Fig9 sweeps sampling rates 512X → 1X with 16 threads per application and
 // measures absolute accuracy (vs the full-sampling map) and relative
 // accuracy (vs the previous, finer rate's map) under both distance metrics.
-func Fig9(scale Scale) *Fig9Result {
-	res := &Fig9Result{Scale: scale, Points: make(map[App][]Fig9Point)}
+// Only the runs are independent — the relative-accuracy chain is a fold
+// over their maps — so the specs fan out through the pool and the point
+// series is computed from the ordered results.
+func Fig9(scale Scale, p *runner.Pool) *Fig9Result {
+	spec := func(a App, rate sampling.Rate) Spec {
+		return Spec{App: a, Scale: scale, Nodes: 8, Threads: 16,
+			Tracking: gos.TrackingSampled, Rate: rate, TransferOALs: true}
+	}
+	perApp := 1 + len(Fig9Rates)
+	specs := make([]Spec, 0, perApp*len(Apps))
 	for _, a := range Apps {
-		full := Run(Spec{App: a, Scale: scale, Nodes: 8, Threads: 16,
-			Tracking: gos.TrackingSampled, Rate: sampling.FullRate, TransferOALs: true})
-		prev := full.TCM
+		specs = append(specs, spec(a, sampling.FullRate))
 		for _, rate := range Fig9Rates {
-			out := Run(Spec{App: a, Scale: scale, Nodes: 8, Threads: 16,
-				Tracking: gos.TrackingSampled, Rate: rate, TransferOALs: true})
+			specs = append(specs, spec(a, rate))
+		}
+	}
+	outs := RunAll(p, specs)
+
+	res := &Fig9Result{Scale: scale, Points: make(map[App][]Fig9Point)}
+	for ai, a := range Apps {
+		full := outs[ai*perApp]
+		prev := full.TCM
+		for ri, rate := range Fig9Rates {
+			out := outs[ai*perApp+1+ri]
 			pt := Fig9Point{
 				Rate:        rate,
 				AbsoluteABS: tcm.Accuracy(tcm.DistanceABS(out.TCM, full.TCM)),
@@ -100,11 +116,12 @@ type Fig1Result struct {
 
 // Fig1 reproduces the false-sharing illustration: Barnes-Hut with 32
 // threads and 4K bodies, tracked once at object grain (exact) and once at
-// page grain.
-func Fig1(scale Scale) *Fig1Result {
+// page grain. A single run, submitted through the pool for uniformity with
+// the other generators (one job executes inline).
+func Fig1(scale Scale, p *runner.Pool) *Fig1Result {
 	threads := 32
-	out := Run(Spec{App: AppBarnesHut, Scale: scale, Nodes: 8, Threads: threads,
-		Tracking: gos.TrackingExact, TransferOALs: true, PageTracker: true})
+	out := RunAll(p, []Spec{{App: AppBarnesHut, Scale: scale, Nodes: 8, Threads: threads,
+		Tracking: gos.TrackingExact, TransferOALs: true, PageTracker: true}})[0]
 	return &Fig1Result{Scale: scale, Threads: threads, Inherent: out.TCM, Induced: out.PageTCM}
 }
 

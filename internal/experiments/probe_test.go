@@ -9,7 +9,7 @@ func TestProbeFig9(t *testing.T) {
 	if testing.Short() {
 		t.Skip("probe")
 	}
-	r := Fig9(4)
+	r := Fig9(4, nil)
 	t.Logf("\n%s", r)
 }
 
@@ -17,6 +17,6 @@ func TestProbeFig1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("probe")
 	}
-	r := Fig1(4)
+	r := Fig1(4, nil)
 	t.Logf("\n%s", r)
 }

@@ -6,6 +6,7 @@ import (
 	"jessica2/internal/core"
 	"jessica2/internal/gos"
 	"jessica2/internal/metrics"
+	"jessica2/internal/runner"
 	"jessica2/internal/sampling"
 	"jessica2/internal/scenario"
 	"jessica2/internal/sim"
@@ -68,41 +69,51 @@ func figSSpec(sc Scale, seed uint64, scenarioName string) Spec {
 	return spec
 }
 
-// FigS runs the sensitivity sweep at the given dataset scale.
-func FigS(sc Scale) *FigSResult {
+// FigS runs the sensitivity sweep at the given dataset scale. Every
+// (scenario, mode) cell is an independent run — each gets a freshly built
+// scenario and its own adaptive-controller config — so all fifteen fan out
+// through the pool; the accuracy comparisons against each scenario's
+// full-rate reference happen in the positional fold.
+func FigS(sc Scale, p *runner.Pool) *FigSResult {
 	const seed = 42
-	res := &FigSResult{Scale: sc, Seed: seed}
+	adStart := sampling.Rate(1)
+	specs := make([]Spec, 0, 3*len(FigSScenarios))
 	for _, name := range FigSScenarios {
 		// Full-rate reference for this scenario.
 		fullSpec := figSSpec(sc, seed, name)
 		fullSpec.Rate = sampling.FullRate
-		full := Run(fullSpec)
+
+		// Fixed-rate mode.
+		fixedSpec := figSSpec(sc, seed, name)
+		fixedSpec.Rate = FigSFixedRate
+
+		// Adaptive mode: start coarse, let the controller walk the ladder.
+		adSpec := figSSpec(sc, seed, name)
+		ad := core.DefaultAdaptiveConfig()
+		ad.Window = 2 * sim.Millisecond // KVMix runs are short; decide often
+		ad.Start = adStart
+		adSpec.Adaptive = &ad
+
+		specs = append(specs, fullSpec, fixedSpec, adSpec)
+	}
+	outs := RunAll(p, specs)
+
+	res := &FigSResult{Scale: sc, Seed: seed}
+	for si, name := range FigSScenarios {
+		full, fixed, adaptive := outs[3*si], outs[3*si+1], outs[3*si+2]
 		res.Rows = append(res.Rows, FigSRow{
 			Scenario: name, Mode: "full", Exec: full.Exec,
 			FinalRate: sampling.FullRate, AccuracyABS: 1,
 			OALKB: full.OALKB(),
 		})
-
-		// Fixed-rate mode.
-		fixedSpec := figSSpec(sc, seed, name)
-		fixedSpec.Rate = FigSFixedRate
-		fixed := Run(fixedSpec)
 		res.Rows = append(res.Rows, FigSRow{
 			Scenario: name, Mode: fmt.Sprintf("fixed-%v", FigSFixedRate), Exec: fixed.Exec,
 			FinalRate:   FigSFixedRate,
 			AccuracyABS: tcm.Accuracy(tcm.DistanceABS(fixed.TCM, full.TCM)),
 			OALKB:       fixed.OALKB(),
 		})
-
-		// Adaptive mode: start coarse, let the controller walk the ladder.
-		adSpec := figSSpec(sc, seed, name)
-		ad := core.DefaultAdaptiveConfig()
-		ad.Window = 2 * sim.Millisecond // KVMix runs are short; decide often
-		ad.Start = 1
-		adSpec.Adaptive = &ad
-		adaptive := Run(adSpec)
 		raises := 0
-		finalRate := ad.Start
+		finalRate := adStart
 		for _, rc := range adaptive.Profiler.RateTrace {
 			if rc.To != rc.From {
 				raises++

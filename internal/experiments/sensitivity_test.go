@@ -12,7 +12,7 @@ import (
 // (the whole point of validating the adaptive profilers on non-uniform
 // clusters).
 func TestFigSAdaptiveVsFixedUnderPerturbation(t *testing.T) {
-	res := FigS(8)
+	res := FigS(8, nil)
 	wantRows := len(FigSScenarios) * 3
 	if len(res.Rows) != wantRows {
 		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)

@@ -6,6 +6,7 @@ import (
 	"jessica2/internal/core"
 	"jessica2/internal/gos"
 	"jessica2/internal/metrics"
+	"jessica2/internal/runner"
 	"jessica2/internal/sampling"
 	"jessica2/internal/sim"
 	"jessica2/internal/sticky"
@@ -59,26 +60,44 @@ type Table2Result struct {
 
 // Table2 measures the pure CPU cost of OAL collection: a single thread per
 // application on one node, OAL transfer disabled (the paper's O1
-// methodology).
-func Table2(scale Scale) *Table2Result {
+// methodology). The independent runs are submitted through the pool; the
+// fold is positional, so the result is identical at any parallelism.
+func Table2(scale Scale, p *runner.Pool) *Table2Result {
+	// rate 0 marks the no-tracking baseline cell (rates sweep from 1 up).
+	type cell struct {
+		app  App
+		rate sampling.Rate
+	}
+	var cells []cell
+	var specs []Spec
+	for _, a := range Apps {
+		cells = append(cells, cell{a, 0})
+		specs = append(specs, Spec{App: a, Scale: scale, Nodes: 1, Threads: 1,
+			Tracking: gos.TrackingOff})
+		for _, r := range table2Rates {
+			if rateNA(a, r) {
+				continue
+			}
+			cells = append(cells, cell{a, r})
+			specs = append(specs, Spec{App: a, Scale: scale, Nodes: 1, Threads: 1,
+				Tracking: gos.TrackingSampled, Rate: r, TransferOALs: false})
+		}
+	}
+	outs := RunAll(p, specs)
+
 	res := &Table2Result{
 		Scale:      scale,
 		BaselineMs: make(map[App]float64),
 		WithMs:     make(map[App]map[sampling.Rate]float64),
 	}
-	for _, a := range Apps {
-		base := Run(Spec{App: a, Scale: scale, Nodes: 1, Threads: 1,
-			Tracking: gos.TrackingOff})
-		res.BaselineMs[a] = base.ExecMs()
-		res.WithMs[a] = make(map[sampling.Rate]float64)
-		for _, r := range table2Rates {
-			if rateNA(a, r) {
-				continue
-			}
-			out := Run(Spec{App: a, Scale: scale, Nodes: 1, Threads: 1,
-				Tracking: gos.TrackingSampled, Rate: r, TransferOALs: false})
-			res.WithMs[a][r] = out.ExecMs()
+	for i, c := range cells {
+		ms := outs[i].ExecMs()
+		if c.rate == 0 {
+			res.BaselineMs[c.app] = ms
+			res.WithMs[c.app] = make(map[sampling.Rate]float64)
+			continue
 		}
+		res.WithMs[c.app][c.rate] = ms
 	}
 	return res
 }
@@ -123,39 +142,55 @@ type Table3Result struct {
 }
 
 // Table3 runs the 8-node (one thread each) correlation tracking overhead
-// experiment.
-func Table3(scale Scale) *Table3Result {
+// experiment, fanning the independent cells out over the pool.
+func Table3(scale Scale, p *runner.Pool) *Table3Result {
+	type cell struct {
+		app  App
+		rate sampling.Rate // 0 = no-tracking baseline
+	}
+	var cells []cell
+	var specs []Spec
+	for _, a := range Apps {
+		cells = append(cells, cell{a, 0})
+		specs = append(specs, Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
+			Tracking: gos.TrackingOff})
+		for _, rate := range table2Rates {
+			if rateNA(a, rate) {
+				continue
+			}
+			cells = append(cells, cell{a, rate})
+			specs = append(specs, Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
+				Tracking: gos.TrackingSampled, Rate: rate, TransferOALs: true})
+		}
+	}
+	outs := RunAll(p, specs)
+
 	res := &Table3Result{
 		Scale:      scale,
 		BaselineMs: make(map[App]float64),
 		GOSKB:      make(map[App]float64),
 		Cells:      make(map[App]map[sampling.Rate]Table3Cell),
 	}
-	for _, a := range Apps {
-		base := Run(Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
-			Tracking: gos.TrackingOff})
-		res.BaselineMs[a] = base.ExecMs()
-		res.Cells[a] = make(map[sampling.Rate]Table3Cell)
-		for _, rate := range table2Rates {
-			if rateNA(a, rate) {
-				continue
-			}
-			out := Run(Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
-				Tracking: gos.TrackingSampled, Rate: rate, TransferOALs: true})
-			cell := Table3Cell{
-				ExecMs:    out.ExecMs(),
-				OALKB:     out.OALKB(),
-				TCMTimeMs: out.TCMTime.Milliseconds(),
-			}
-			gos := out.GOSKB()
-			if res.GOSKB[a] == 0 {
-				res.GOSKB[a] = gos
-			}
-			if gos > 0 {
-				cell.OALShare = cell.OALKB / gos
-			}
-			res.Cells[a][rate] = cell
+	for i, c := range cells {
+		out := outs[i]
+		if c.rate == 0 {
+			res.BaselineMs[c.app] = out.ExecMs()
+			res.Cells[c.app] = make(map[sampling.Rate]Table3Cell)
+			continue
 		}
+		cl := Table3Cell{
+			ExecMs:    out.ExecMs(),
+			OALKB:     out.OALKB(),
+			TCMTimeMs: out.TCMTime.Milliseconds(),
+		}
+		gosKB := out.GOSKB()
+		if res.GOSKB[c.app] == 0 {
+			res.GOSKB[c.app] = gosKB
+		}
+		if gosKB > 0 {
+			cl.OALShare = cl.OALKB / gosKB
+		}
+		res.Cells[c.app][c.rate] = cl
 	}
 	return res
 }
@@ -207,12 +242,20 @@ type Table4Result struct {
 }
 
 // Table4 profiles sticky-set footprints at full sampling and at 4X with 8
-// threads per application and compares the per-class estimates.
-func Table4(scale Scale) *Table4Result {
-	res := &Table4Result{Scale: scale}
+// threads per application and compares the per-class estimates. The
+// full/4X pairs of all applications run through the pool.
+func Table4(scale Scale, p *runner.Pool) *Table4Result {
+	specs := make([]Spec, 0, 2*len(Apps))
 	for _, a := range Apps {
-		full := runFootprint(a, scale, sampling.FullRate)
-		fourX := runFootprint(a, scale, 4)
+		specs = append(specs,
+			footprintSpec(a, scale, sampling.FullRate),
+			footprintSpec(a, scale, 4))
+	}
+	outs := RunAll(p, specs)
+
+	res := &Table4Result{Scale: scale}
+	for ai, a := range Apps {
+		full, fourX := outs[2*ai], outs[2*ai+1]
 		// Average per class across threads.
 		classes := map[string]struct{}{}
 		for _, fp := range full.Footprints {
@@ -256,8 +299,11 @@ func Table4(scale Scale) *Table4Result {
 	return res
 }
 
-func runFootprint(a App, scale Scale, rate sampling.Rate) *Out {
-	fp := core.FootprintConfig{FootprinterConfig: sticky.FootprinterConfig{
+// footprintSpec builds one Table IV cell's spec. Each spec gets its own
+// FootprintConfig: specs run concurrently under the pool and must not share
+// pointered configuration.
+func footprintSpec(a App, scale Scale, rate sampling.Rate) Spec {
+	fp := &core.FootprintConfig{FootprinterConfig: sticky.FootprinterConfig{
 		MinAccesses: 2,
 		Nonstop:     true,
 		RearmPeriod: 1 * sim.Millisecond,
@@ -267,8 +313,8 @@ func runFootprint(a App, scale Scale, rate sampling.Rate) *Out {
 		TrapPerKB:   1536 * sim.Nanosecond,
 		EWMA:        0.5,
 	}}
-	return Run(Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
-		Tracking: gos.TrackingOff, Rate: rate, Footprint: &fp})
+	return Spec{App: a, Scale: scale, Nodes: 8, Threads: 8,
+		Tracking: gos.TrackingOff, Rate: rate, Footprint: fp}
 }
 
 // Table renders Table IV in paper layout.
@@ -346,9 +392,80 @@ func footprintConfig(nonstop bool) *core.FootprintConfig {
 	}}
 }
 
+// table5Cell identifies one Table V measurement within an app's group.
+type table5Cell struct {
+	kind string // "base", "stack", "foot", "resolve-base", "resolve"
+	key  string // stackCfgs/footCfgs key for stack/foot kinds
+}
+
+// table5Specs builds one app's 11 single-thread runs in table order. Each
+// spec carries freshly allocated Stack/Footprint configs: the pool runs
+// specs concurrently and pointered configuration must not be shared.
+func table5Specs(a App, scale Scale) ([]Spec, []table5Cell) {
+	small := a == AppSOR
+	base := func() Spec {
+		return Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
+			Tracking: gos.TrackingOff}
+	}
+	lazyStack := func() *core.StackConfig {
+		return &core.StackConfig{Gap: 16 * sim.Millisecond, Lazy: true, MinSurvived: 1, Costs: core.DefaultStackCosts()}
+	}
+	var specs []Spec
+	var cells []table5Cell
+
+	specs = append(specs, base())
+	cells = append(cells, table5Cell{kind: "base"})
+
+	for _, sc := range stackCfgs {
+		s := base()
+		s.Stack = &core.StackConfig{Gap: sc.Gap, Lazy: sc.Lazy, MinSurvived: 1, Costs: core.DefaultStackCosts()}
+		specs = append(specs, s)
+		cells = append(cells, table5Cell{kind: "stack", key: sc.Key})
+	}
+
+	for _, fc := range footCfgs {
+		s := base()
+		s.Rate = fc.Rate
+		s.Footprint = footprintConfig(fc.Nonstop)
+		specs = append(specs, s)
+		cells = append(cells, table5Cell{kind: "foot", key: fc.Key})
+	}
+
+	// Resolution overhead: timer-based 4X footprinting + lazy 16 ms stack
+	// sampling, with and without eager per-interval resolution.
+	s := base()
+	s.Rate, s.Stack, s.Footprint = 4, lazyStack(), footprintConfig(false)
+	specs = append(specs, s)
+	cells = append(cells, table5Cell{kind: "resolve-base"})
+
+	s = base()
+	fpr := footprintConfig(false)
+	fpr.EagerResolve = true
+	fpr.Resolver = sticky.DefaultResolverConfig()
+	s.Rate, s.Stack, s.Footprint = 4, lazyStack(), fpr
+	specs = append(specs, s)
+	cells = append(cells, table5Cell{kind: "resolve"})
+
+	return specs, cells
+}
+
 // Table5 measures stack sampling, footprinting and resolution overheads on
-// single-thread runs (SOR at the 1K×1K dataset, per the paper).
-func Table5(scale Scale) *Table5Result {
+// single-thread runs (SOR at the 1K×1K dataset, per the paper), submitting
+// every configuration through the pool.
+func Table5(scale Scale, p *runner.Pool) *Table5Result {
+	type group struct {
+		app   App
+		cells []table5Cell
+	}
+	var specs []Spec
+	var groups []group
+	for _, a := range Apps {
+		s, cells := table5Specs(a, scale)
+		specs = append(specs, s...)
+		groups = append(groups, group{a, cells})
+	}
+	outs := RunAll(p, specs)
+
 	res := &Table5Result{
 		Scale:         scale,
 		BaselineMs:    make(map[App]float64),
@@ -357,42 +474,26 @@ func Table5(scale Scale) *Table5Result {
 		ResolveMs:     make(map[App]float64),
 		ResolveBaseMs: make(map[App]float64),
 	}
-	for _, a := range Apps {
-		small := a == AppSOR
-		base := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
-			Tracking: gos.TrackingOff})
-		res.BaselineMs[a] = base.ExecMs()
-
-		res.StackMs[a] = make(map[string]float64)
-		for _, sc := range stackCfgs {
-			out := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
-				Tracking: gos.TrackingOff,
-				Stack:    &core.StackConfig{Gap: sc.Gap, Lazy: sc.Lazy, MinSurvived: 1, Costs: core.DefaultStackCosts()}})
-			res.StackMs[a][sc.Key] = out.ExecMs()
+	i := 0
+	for _, g := range groups {
+		res.StackMs[g.app] = make(map[string]float64)
+		res.FootMs[g.app] = make(map[string]float64)
+		for _, c := range g.cells {
+			ms := outs[i].ExecMs()
+			i++
+			switch c.kind {
+			case "base":
+				res.BaselineMs[g.app] = ms
+			case "stack":
+				res.StackMs[g.app][c.key] = ms
+			case "foot":
+				res.FootMs[g.app][c.key] = ms
+			case "resolve-base":
+				res.ResolveBaseMs[g.app] = ms
+			case "resolve":
+				res.ResolveMs[g.app] = ms
+			}
 		}
-
-		res.FootMs[a] = make(map[string]float64)
-		for _, fc := range footCfgs {
-			out := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
-				Tracking: gos.TrackingOff, Rate: fc.Rate,
-				Footprint: footprintConfig(fc.Nonstop)})
-			res.FootMs[a][fc.Key] = out.ExecMs()
-		}
-
-		// Resolution overhead: timer-based 4X footprinting + lazy 16 ms
-		// stack sampling, with and without eager per-interval resolution.
-		stackCfg := &core.StackConfig{Gap: 16 * sim.Millisecond, Lazy: true, MinSurvived: 1, Costs: core.DefaultStackCosts()}
-		withBase := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
-			Tracking: gos.TrackingOff, Rate: 4,
-			Stack: stackCfg, Footprint: footprintConfig(false)})
-		res.ResolveBaseMs[a] = withBase.ExecMs()
-		fpr := footprintConfig(false)
-		fpr.EagerResolve = true
-		fpr.Resolver = sticky.DefaultResolverConfig()
-		withRes := Run(Spec{App: a, Small: small, Scale: scale, Nodes: 1, Threads: 1,
-			Tracking: gos.TrackingOff, Rate: 4,
-			Stack: stackCfg, Footprint: fpr})
-		res.ResolveMs[a] = withRes.ExecMs()
 	}
 	return res
 }

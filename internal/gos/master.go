@@ -161,6 +161,16 @@ func (m *Master) Peek(n int) *tcm.Map {
 	return widen(m.ensureBuilder().Peek(), n)
 }
 
+// PeekInto is Peek with caller-owned scratch: the map is rebuilt in place
+// of dst (nil allocates) and stays valid until the next call with the same
+// scratch. Sessions peek at every epoch boundary; recycling one map per
+// session keeps live snapshots off the allocator's hot path. When the
+// builder was sized before all threads spawned, widening still copies into
+// a fresh map (the rare, cold path).
+func (m *Master) PeekInto(dst *tcm.Map, n int) *tcm.Map {
+	return widen(m.ensureBuilder().PeekInto(dst), n)
+}
+
 // ResetWindow clears ingested state for a fresh profiling window.
 func (m *Master) ResetWindow() {
 	if m.builder != nil {

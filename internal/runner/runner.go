@@ -1,0 +1,133 @@
+// Package runner is the parallel deterministic experiment driver: it fans
+// an ordered list of independent, seed-deterministic jobs out over a
+// bounded worker pool and collects their results back in submission order.
+//
+// Every paper artifact (tables, figures, sensitivity and closed-loop
+// sweeps) is dozens of fully independent simulator runs; executed strictly
+// sequentially they bind regeneration wall-clock to a single core. Each
+// job here is a pure function of its inputs (experiments.Run on a Spec, or
+// a closure building its own session), shares no mutable state with its
+// peers, and is collected positionally — so a parallel regeneration is
+// byte-identical to the sequential one, only the wall-clock moves.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"jessica2/internal/sim"
+)
+
+// Pool bounds the worker fan-out. The zero value and nil both mean
+// sequential inline execution (one worker, no goroutines), which keeps the
+// simulator's GOMAXPROCS pin and is the right default for benchmarks that
+// measure single-run cost.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width; workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Sequential is the explicit one-worker pool (same behavior as nil).
+func Sequential() *Pool { return &Pool{workers: 1} }
+
+// Workers reports the pool width; a nil or zero pool is one worker.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Parallel reports whether the pool actually fans out.
+func (p *Pool) Parallel() bool { return p.Workers() > 1 }
+
+// jobPanic carries a worker panic back to the submitting goroutine.
+type jobPanic struct {
+	job int
+	val any
+}
+
+// Collect executes every job and returns the results in submission order.
+// Jobs must be independent (no shared mutable state) and deterministic;
+// workers pull jobs in index order from a shared cursor, so with one worker
+// the execution order — not just the result order — matches a plain loop.
+//
+// A panicking job does not tear down its worker: remaining jobs still run,
+// and the first panic (by job index, deterministically) is re-raised on the
+// caller once all workers have parked. While jobs are in flight the
+// simulator's process-global tunings are suspended (sim.EnterParallel), so
+// concurrent engines neither race on them nor serialize each other.
+func Collect[T any](p *Pool, jobs []func() T) []T {
+	out := make([]T, len(jobs))
+	workers := p.Workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, job := range jobs {
+			out[i] = job()
+		}
+		return out
+	}
+
+	sim.EnterParallel()
+	defer sim.LeaveParallel()
+
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  *jobPanic
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if first == nil || i < first.job {
+					first = &jobPanic{job: i, val: r}
+				}
+				mu.Unlock()
+			}
+		}()
+		out[i] = jobs[i]()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		panic(fmt.Sprintf("runner: job %d panicked: %v", first.job, first.val))
+	}
+	return out
+}
+
+// Go runs fn for every index in [0, n) and is Collect for side-effecting
+// jobs that write their own results (e.g. into a caller-allocated slice
+// slot). The same independence and determinism rules apply.
+func Go(p *Pool, n int, fn func(i int)) {
+	jobs := make([]func() struct{}, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() struct{} { fn(i); return struct{}{} }
+	}
+	Collect(p, jobs)
+}

@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCollectOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := New(workers)
+		jobs := make([]func() int, 100)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() int {
+				// Reverse-staggered completion: later jobs finish first, so
+				// any completion-order collection would scramble results.
+				time.Sleep(time.Duration(len(jobs)-i) * 10 * time.Microsecond)
+				return i * i
+			}
+		}
+		out := Collect(p, jobs)
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestCollectBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	p := New(workers)
+	jobs := make([]func() int, 64)
+	for i := range jobs {
+		jobs[i] = func() int {
+			n := inFlight.Add(1)
+			for {
+				cur := peak.Load()
+				if n <= cur || peak.CompareAndSwap(cur, n) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			inFlight.Add(-1)
+			return 0
+		}
+	}
+	Collect(p, jobs)
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool width %d", got, workers)
+	}
+}
+
+func TestCollectPanicPropagatesLowestIndex(t *testing.T) {
+	p := New(4)
+	jobs := make([]func() int, 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() int {
+			if i == 3 || i == 11 {
+				panic(i)
+			}
+			return i
+		}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "job 3 panicked: 3") {
+			t.Fatalf("wrong panic surfaced: %v", r)
+		}
+	}()
+	Collect(p, jobs)
+}
+
+func TestNilAndSequentialPoolsRunInline(t *testing.T) {
+	// Inline execution must use the calling goroutine in submission order.
+	var order []int
+	var mu sync.Mutex
+	jobs := make([]func() int, 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() int {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return i
+		}
+	}
+	for _, p := range []*Pool{nil, Sequential(), {}} {
+		order = order[:0]
+		out := Collect(p, jobs)
+		for i := range jobs {
+			if order[i] != i || out[i] != i {
+				t.Fatalf("pool %+v: order=%v out=%v", p, order, out)
+			}
+		}
+		if p.Parallel() {
+			t.Fatalf("pool %+v claims to be parallel", p)
+		}
+	}
+}
+
+func TestGoCoversAllIndexes(t *testing.T) {
+	hit := make([]atomic.Int32, 50)
+	Go(New(8), len(hit), func(i int) { hit[i].Add(1) })
+	for i := range hit {
+		if hit[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hit[i].Load())
+		}
+	}
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must default to at least one worker")
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("Workers() = %d, want 7", got)
+	}
+	if (*Pool)(nil).Workers() != 1 {
+		t.Fatal("nil pool must be one worker")
+	}
+}

@@ -17,6 +17,13 @@ import (
 // Snapshot is the profiling state visible at an epoch boundary (or any
 // pause point). It is plain data: policies decide from it alone, which
 // keeps them deterministic and unit-testable without a kernel.
+//
+// Boundary snapshots handed to Policy.Observe reuse per-session scratch
+// buffers for TCM, Footprints, RateTrace and Finished — they are valid for
+// the duration of the Observe call and are overwritten at the next epoch
+// boundary. A policy that needs to keep a view across epochs must copy it
+// (e.g. TCM.Clone). Snapshots from Session.Snapshot are freshly allocated
+// and safe to retain.
 type Snapshot struct {
 	// Now is the virtual time of the pause; Epoch counts processed
 	// boundaries; Done marks a completed run.
@@ -69,6 +76,8 @@ type Policy interface {
 	// the run byte-identical to an unsupervised one.
 	NeedsProfile() bool
 	// Observe inspects the boundary snapshot and returns actions to apply.
+	// The snapshot's views alias session scratch valid only during the
+	// call; copy anything that must survive to the next epoch.
 	Observe(snap *Snapshot) []Action
 }
 

@@ -22,6 +22,7 @@ import (
 	"jessica2/internal/network"
 	"jessica2/internal/scenario"
 	"jessica2/internal/sim"
+	"jessica2/internal/sticky"
 	"jessica2/internal/tcm"
 	"jessica2/internal/workload"
 )
@@ -76,6 +77,17 @@ type Session struct {
 
 	// applied logs every policy action the session executed.
 	applied []AppliedAction
+
+	// Scratch reused across boundary snapshots: sessions pause at every
+	// epoch, and rebuilding the N×N map, rate trace and footprint views
+	// from fresh allocations each time was the allocation hot spot of
+	// closed-loop runs. Boundary snapshots alias these buffers (valid for
+	// the duration of Policy.Observe); the public ad-hoc Snapshot still
+	// allocates fresh views the caller may retain.
+	scratchTCM      *tcm.Map
+	scratchTrace    []core.RateChange
+	scratchFoot     map[int]sticky.Footprint
+	scratchFinished []bool
 
 	err error // sticky configuration error, surfaced on first use
 }
@@ -358,9 +370,22 @@ func (s *Session) Snapshot() *Snapshot {
 	return s.snapshot(true, false)
 }
 
+// snapshot builds the state view at the current pause point. Boundary
+// snapshots (handed transiently to Policy.Observe) reuse the session's
+// scratch buffers; ad-hoc snapshots allocate fresh views the caller may
+// keep.
 func (s *Session) snapshot(profile, boundary bool) *Snapshot {
 	k := s.k
 	n := k.NumThreads()
+	var finished []bool
+	if boundary {
+		if cap(s.scratchFinished) < n {
+			s.scratchFinished = make([]bool, n)
+		}
+		finished = s.scratchFinished[:n]
+	} else {
+		finished = make([]bool, n)
+	}
 	snap := &Snapshot{
 		Now:        k.Eng.Now(),
 		Epoch:      s.epoch,
@@ -368,7 +393,7 @@ func (s *Session) snapshot(profile, boundary bool) *Snapshot {
 		Nodes:      k.NumNodes(),
 		Threads:    n,
 		Assignment: balancer.Assignment(k.Assignment()),
-		Finished:   make([]bool, n),
+		Finished:   finished,
 		Kernel:     k.Stats(),
 		Network:    k.Net.Stats(),
 	}
@@ -376,12 +401,22 @@ func (s *Session) snapshot(profile, boundary bool) *Snapshot {
 		snap.Finished[i] = k.Thread(i).Finished()
 	}
 	if s.prof != nil {
-		snap.RateTrace, snap.Footprints = s.prof.LiveViews()
+		if boundary {
+			s.scratchTrace, s.scratchFoot = s.prof.LiveViewsInto(s.scratchTrace, s.scratchFoot)
+			snap.RateTrace, snap.Footprints = s.scratchTrace, s.scratchFoot
+		} else {
+			snap.RateTrace, snap.Footprints = s.prof.LiveViews()
+		}
 	}
 	if !profile {
 		return snap
 	}
-	snap.TCM = k.Master().Peek(n)
+	if boundary {
+		snap.TCM = k.Master().PeekInto(s.scratchTCM, n)
+		s.scratchTCM = snap.TCM
+	} else {
+		snap.TCM = k.Master().Peek(n)
+	}
 	snap.Hot = s.hotObjects(boundary)
 	return snap
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is virtual time in nanoseconds.
@@ -59,8 +60,14 @@ type event struct {
 // container/heap interface would allocate a *event per push and per pop).
 // The 4-ary layout halves the tree depth versus a binary heap, trading a
 // slightly wider child scan on sift-down for fewer cache-missing levels —
-// the queue is the single hottest data structure in the simulator.
+// the queue is the single hottest data structure in the simulator. It backs
+// the bucketed scheduler (per-bucket heaps and the far-timer overflow in
+// sched.go) and is the engine's whole queue under the `simheap` build tag.
 type eventPQ []event
+
+func (q *eventPQ) size() int    { return len(*q) }
+func (q *eventPQ) empty() bool  { return len(*q) == 0 }
+func (q *eventPQ) nextAt() Time { return (*q)[0].at }
 
 func (q eventPQ) less(i, j int) bool {
 	if q[i].at != q[j].at {
@@ -88,7 +95,10 @@ func (q *eventPQ) pop() event {
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = event{} // release the closure reference
+	// Zero the vacated slot: the slice keeps its capacity across reuse, so a
+	// stale fn would pin its captured Proc (and everything the closure
+	// reaches) until the slot is next overwritten.
+	h[n] = event{}
 	h = h[:n]
 	*q = h
 	i := 0
@@ -120,7 +130,7 @@ func (q *eventPQ) pop() event {
 // multiple OS threads except through the Proc cooperation protocol.
 type Engine struct {
 	now     Time
-	queue   eventPQ
+	queue   engineQueue
 	seq     uint64
 	procs   []*Proc
 	running int // procs started and not yet finished
@@ -201,11 +211,13 @@ func (e *Engine) dispatch(p *Proc) {
 // The simulation is strictly sequential (one proc runs at a time), so Run
 // pins GOMAXPROCS to 1 for its duration: scheduler↔proc channel handoffs
 // become direct goroutine switches instead of cross-core futex wakeups,
-// which is worth ~3× wall-clock on large runs.
+// which is worth ~3× wall-clock on large runs. Inside an
+// EnterParallel/LeaveParallel region the pin is skipped — it is a
+// process-global knob, and concurrent engines each pinning it would both
+// race and serialize the whole pool.
 func (e *Engine) Run() Time {
-	prev := runtime.GOMAXPROCS(1)
-	defer runtime.GOMAXPROCS(prev)
-	for len(e.queue) > 0 && !e.stopped {
+	defer pinSerial()()
+	for !e.queue.empty() && !e.stopped {
 		ev := e.queue.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
@@ -229,10 +241,9 @@ func (e *Engine) Run() Time {
 // Like Run, it panics with a deadlock report if the queue drains while
 // procs are still blocked.
 func (e *Engine) RunUntil(limit Time) bool {
-	prev := runtime.GOMAXPROCS(1)
-	defer runtime.GOMAXPROCS(prev)
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].at > limit {
+	defer pinSerial()()
+	for !e.queue.empty() && !e.stopped {
+		if e.queue.nextAt() > limit {
 			if limit > e.now {
 				e.now = limit
 			}
@@ -254,7 +265,32 @@ func (e *Engine) RunUntil(limit Time) bool {
 // Idle reports whether the event queue has drained (no further work is
 // scheduled). Together with a false RunUntil return it distinguishes
 // "paused at the limit" from "finished before the limit".
-func (e *Engine) Idle() bool { return len(e.queue) == 0 }
+func (e *Engine) Idle() bool { return e.queue.empty() }
+
+// parallelRuns counts active EnterParallel regions process-wide.
+var parallelRuns atomic.Int32
+
+// EnterParallel marks the start of a region in which multiple engines run
+// concurrently on separate goroutines (the experiment runner's worker
+// pool). While any region is active, Run and RunUntil skip their
+// GOMAXPROCS(1) pin: the pin is process-global, so concurrent engines
+// toggling it would race with each other and force the whole pool onto one
+// core. Each engine remains single-threaded internally, so runs stay
+// deterministic either way. Pair every call with LeaveParallel.
+func EnterParallel() { parallelRuns.Add(1) }
+
+// LeaveParallel marks the end of an EnterParallel region.
+func LeaveParallel() { parallelRuns.Add(-1) }
+
+// pinSerial applies the sequential-mode GOMAXPROCS pin and returns the
+// undo; inside a parallel region it is a no-op.
+func pinSerial() func() {
+	if parallelRuns.Load() > 0 {
+		return func() {}
+	}
+	prev := runtime.GOMAXPROCS(1)
+	return func() { runtime.GOMAXPROCS(prev) }
+}
 
 // Stop halts the scheduler after the current event completes. Blocked procs
 // are abandoned (their goroutines stay parked; the process is expected to
@@ -430,6 +466,7 @@ func (r *Resource) Release(p *Proc) {
 	}
 	next := r.waiters[0]
 	copy(r.waiters, r.waiters[1:])
+	r.waiters[len(r.waiters)-1] = nil // drop the stale Proc reference
 	r.waiters = r.waiters[:len(r.waiters)-1]
 	r.holder = next
 	r.acquiredAt = r.eng.now
@@ -465,6 +502,7 @@ func (q *WaitQueue) WakeOne() bool {
 	}
 	p := q.waiters[0]
 	copy(q.waiters, q.waiters[1:])
+	q.waiters[len(q.waiters)-1] = nil // drop the stale Proc reference
 	q.waiters = q.waiters[:len(q.waiters)-1]
 	p.Wake()
 	return true
@@ -473,8 +511,9 @@ func (q *WaitQueue) WakeOne() bool {
 // WakeAll releases every waiter in FIFO order and returns how many woke.
 func (q *WaitQueue) WakeAll() int {
 	n := len(q.waiters)
-	for _, p := range q.waiters {
+	for i, p := range q.waiters {
 		p.Wake()
+		q.waiters[i] = nil // the retained backing array must not pin procs
 	}
 	q.waiters = q.waiters[:0]
 	return n

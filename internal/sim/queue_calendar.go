@@ -1,0 +1,9 @@
+//go:build !simheap
+
+package sim
+
+// engineQueue selects the scheduler implementation behind Engine. The
+// default build uses the two-level bucketed calendar queue; build with
+// `-tags simheap` to fall back to the plain 4-ary heap (the baseline for
+// the scheduler microbenchmarks and for bisecting perf regressions).
+type engineQueue = schedQueue

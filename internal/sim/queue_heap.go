@@ -1,0 +1,7 @@
+//go:build simheap
+
+package sim
+
+// engineQueue falls back to the plain 4-ary heap under the `simheap` build
+// tag (see queue_calendar.go for the default).
+type engineQueue = eventPQ

@@ -1,0 +1,160 @@
+package sim
+
+import "math/bits"
+
+// schedQueue is the engine's two-level bucketed event scheduler: a
+// calendar-queue ring of small per-bucket heaps covering the near horizon,
+// backed by a single 4-ary min-heap for far timers. The simulator's event
+// population is sharply bimodal — dense bursts of wakes and short sleeps
+// within microseconds of the clock, plus a thin tail of long re-arm timers —
+// so the ring absorbs almost every push and pop at O(log bucket) cost on a
+// handful of events, while the overflow heap only churns when a far timer
+// is scheduled or migrates into coverage.
+//
+// Ordering is exactly the 4-ary heap's: (at, seq) with FIFO tie-break, so
+// golden traces are byte-identical between the two implementations (the
+// `simheap` build tag selects the plain heap as a fallback; the property
+// tests in sched_test.go assert pop-order equivalence on random streams).
+//
+// Invariants:
+//   - every ring event e satisfies base <= e.at < horizon, where
+//     horizon = base + span and base is the start of the cursor's bucket;
+//   - every overflow event e satisfies e.at >= horizon;
+//   - base never exceeds the engine clock: pop leaves base at the popped
+//     event's bucket, peeking never mutates, and the engine never schedules
+//     in the past — so a push always lands at or beyond base.
+const (
+	// bucketBits sets the bucket width: 1<<bucketBits ns per bucket. 4096 ns
+	// spans the engine's dense event cluster (per-access CPU charges and
+	// protocol latencies are tens of ns to a few µs) without smearing one
+	// busy instant across many buckets.
+	bucketBits = 12
+	// ringBuckets is the ring size; with 4 µs buckets the ring covers a
+	// ~1 ms horizon, beyond which timers wait in the overflow heap.
+	ringBuckets = 256
+	ringMask    = ringBuckets - 1
+	bucketWidth = Time(1) << bucketBits
+	ringSpan    = Time(ringBuckets) << bucketBits
+	occWords    = ringBuckets / 64
+)
+
+type schedQueue struct {
+	ring  [ringBuckets]eventPQ
+	occ   [occWords]uint64 // occupancy bitmap: bit i set iff ring[i] non-empty
+	ringN int              // events currently in the ring
+	n     int              // total events (ring + overflow)
+
+	cursor  int  // bucket holding the earliest ring events
+	base    Time // start time of the cursor bucket
+	horizon Time // base + ringSpan: exclusive upper bound of ring coverage
+
+	overflow eventPQ // far timers, at >= horizon
+}
+
+func (q *schedQueue) size() int   { return q.n }
+func (q *schedQueue) empty() bool { return q.n == 0 }
+
+func bucketIndex(at Time) int { return int(at>>bucketBits) & ringMask }
+
+func (q *schedQueue) push(e event) {
+	q.n++
+	if e.at < q.horizon {
+		q.pushRing(e)
+		return
+	}
+	q.overflow.push(e)
+}
+
+func (q *schedQueue) pushRing(e event) {
+	i := bucketIndex(e.at)
+	q.ring[i].push(e)
+	q.occ[i>>6] |= 1 << uint(i&63)
+	q.ringN++
+}
+
+// nextOccupied returns the first non-empty bucket at or after `from` in ring
+// order (wrapping), or -1 when the whole ring is empty.
+func (q *schedQueue) nextOccupied(from int) int {
+	word, off := from>>6, uint(from&63)
+	if b := q.occ[word] &^ (1<<off - 1); b != 0 {
+		return word<<6 + bits.TrailingZeros64(b)
+	}
+	for i := 1; i < occWords; i++ {
+		w := (word + i) & (occWords - 1)
+		if b := q.occ[w]; b != 0 {
+			return w<<6 + bits.TrailingZeros64(b)
+		}
+	}
+	if b := q.occ[word] & (1<<off - 1); b != 0 {
+		return word<<6 + bits.TrailingZeros64(b)
+	}
+	return -1
+}
+
+// nextAt reports the earliest event's time without mutating the queue (the
+// engine peeks on every RunUntil step, possibly while paused — reshaping
+// coverage here would let the coverage window slide past the paused clock
+// and corrupt the mapping of later pushes). Callers check empty() first.
+func (q *schedQueue) nextAt() Time {
+	if q.ringN > 0 {
+		// Ring events all precede the overflow (at < horizon <= overflow),
+		// and ring order from the cursor is time order.
+		return q.ring[q.nextOccupied(q.cursor)][0].at
+	}
+	return q.overflow[0].at
+}
+
+// drain migrates overflow timers that entered coverage into the ring.
+func (q *schedQueue) drain() {
+	for len(q.overflow) > 0 && q.overflow[0].at < q.horizon {
+		q.pushRing(q.overflow.pop())
+	}
+}
+
+// jump re-anchors an empty ring directly at the overflow's earliest timer,
+// skipping the idle gap in O(1) instead of walking buckets.
+func (q *schedQueue) jump() {
+	at := q.overflow[0].at
+	q.base = at &^ (bucketWidth - 1)
+	q.horizon = q.base + ringSpan
+	q.cursor = bucketIndex(q.base)
+	q.drain()
+}
+
+func (q *schedQueue) pop() event {
+	if q.ringN == 0 {
+		// Callers guarantee q.n > 0, so the overflow must hold the next
+		// event; re-anchor coverage at it.
+		q.jump()
+	}
+	for {
+		if b := &q.ring[q.cursor]; len(*b) > 0 {
+			e := b.pop()
+			if len(*b) == 0 {
+				q.occ[q.cursor>>6] &^= 1 << uint(q.cursor&63)
+			}
+			q.ringN--
+			q.n--
+			return e
+		}
+		// Advance coverage to the next occupied bucket — but never past the
+		// point where the overflow's earliest timer would enter coverage,
+		// or it would land in a bucket the cursor has already passed.
+		var d int
+		if idx := q.nextOccupied(q.cursor); idx >= 0 {
+			d = (idx - q.cursor) & ringMask
+		} else {
+			q.jump()
+			continue
+		}
+		if len(q.overflow) > 0 {
+			if dOv := int((q.overflow[0].at-q.horizon)>>bucketBits) + 1; dOv < d {
+				d = dOv
+			}
+		}
+		q.cursor = (q.cursor + d) & ringMask
+		q.base += Time(d) << bucketBits
+		q.horizon += Time(d) << bucketBits
+		q.drain()
+	}
+}

@@ -307,13 +307,25 @@ func (fp *Footprinter) OnIntervalClose(t *gos.Thread) {
 
 // Footprint returns a copy of the current smoothed estimate.
 func (fp *Footprinter) Footprint() Footprint {
-	out := make(Footprint, len(fp.footprint))
+	return fp.FootprintInto(nil)
+}
+
+// FootprintInto writes the current smoothed estimate into dst — cleared
+// and reused when non-nil, freshly allocated otherwise — and returns it.
+// Epoch-boundary snapshots call this every epoch; recycling the map keeps
+// live views off the allocator's hot path.
+func (fp *Footprinter) FootprintInto(dst Footprint) Footprint {
+	if dst == nil {
+		dst = make(Footprint, len(fp.footprint))
+	} else {
+		clear(dst)
+	}
 	for c, v := range fp.footprint {
 		if v > 0 {
-			out[c] = v
+			dst[c] = v
 		}
 	}
-	return out
+	return dst
 }
 
 // LastInterval returns the unsmoothed footprint of the last interval.

@@ -362,3 +362,20 @@ func TestResolveMaxObjectsCap(t *testing.T) {
 		t.Fatalf("visited %d beyond cap", res.Visited)
 	}
 }
+
+func TestFootprintIntoReusesMap(t *testing.T) {
+	fp := NewFootprinter(nil, FootprinterConfig{MinAccesses: 1, EWMA: 1, MinGap: 1})
+	fp.footprint = map[string]int64{"Rec": 128, "Cold": 0}
+	dst := Footprint{"Stale": 999}
+	got := fp.FootprintInto(dst)
+	if got["Stale"] != 0 || got["Cold"] != 0 || got["Rec"] != 128 {
+		t.Fatalf("scratch not rebuilt: %v", got)
+	}
+	got["Probe"] = 1
+	if dst["Probe"] != 1 {
+		t.Fatal("FootprintInto must reuse the passed map")
+	}
+	if fresh := fp.FootprintInto(nil); fresh["Rec"] != 128 {
+		t.Fatalf("nil dst must allocate the footprint, got %v", fresh)
+	}
+}

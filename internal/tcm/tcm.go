@@ -71,6 +71,27 @@ func (m *Map) Clone() *Map {
 	return c
 }
 
+// Reuse returns m resized to n×n with every cell zeroed, recycling the
+// backing array when its capacity allows; a nil receiver allocates fresh.
+// It is the scratch-reuse primitive behind PeekInto.
+func (m *Map) Reuse(n int) *Map {
+	if m == nil {
+		return NewMap(n)
+	}
+	if n < 0 {
+		panic("tcm: negative dimension")
+	}
+	need := n * n
+	if cap(m.cells) < need {
+		m.cells = make([]float64, need)
+	} else {
+		m.cells = m.cells[:need]
+		clear(m.cells)
+	}
+	m.n = n
+	return m
+}
+
 // Scale multiplies every cell by f, in place, returning the map.
 func (m *Map) Scale(f float64) *Map {
 	for i := range m.cells {
@@ -254,7 +275,7 @@ func (b *Builder) AddAccess(t int, key int64, bytes float64) {
 // every pair of threads that accessed it in common, charging the cost
 // ledger for the accrual pass.
 func (b *Builder) Build() (*Map, BuildCost) {
-	m := b.buildMap(true)
+	m := b.buildMap(nil, true)
 	return m, b.cost
 }
 
@@ -263,11 +284,18 @@ func (b *Builder) Build() (*Map, BuildCost) {
 // observes exactly the state it would have without the peek. Live snapshots
 // use it to expose the incremental TCM without perturbing the simulated
 // analyzer's CPU accounting.
-func (b *Builder) Peek() *Map { return b.buildMap(false) }
+func (b *Builder) Peek() *Map { return b.buildMap(nil, false) }
+
+// PeekInto is Peek with caller-owned scratch: the accrual writes into dst
+// (recycled via Reuse; nil allocates). Closed-loop sessions peek at every
+// epoch boundary, and rebuilding the N×N map each epoch was the allocation
+// hot spot of closed-loop runs — reusing one per-session map removes it.
+// The returned map aliases dst and is valid until the next PeekInto.
+func (b *Builder) PeekInto(dst *Map) *Map { return b.buildMap(dst, false) }
 
 // buildMap is the shared accrual pass behind Build and Peek.
-func (b *Builder) buildMap(charge bool) *Map {
-	m := NewMap(b.n)
+func (b *Builder) buildMap(dst *Map, charge bool) *Map {
+	m := dst.Reuse(b.n)
 	if charge {
 		b.cost.Objects = len(b.objs)
 	}

@@ -252,3 +252,48 @@ func TestOALWireBytes(t *testing.T) {
 		t.Fatal("batch accounting wrong")
 	}
 }
+
+func TestPeekIntoReusesScratchAndMatchesPeek(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddAccess(0, 10, 100)
+	b.AddAccess(1, 10, 100)
+	b.AddAccess(2, 20, 50)
+	b.AddAccess(3, 20, 50)
+
+	fresh := b.Peek()
+	dst := b.PeekInto(nil)
+	if DistanceABS(fresh, dst) != 0 {
+		t.Fatal("PeekInto(nil) differs from Peek")
+	}
+	// More state arrives; the same scratch must be rebuilt in place.
+	b.AddAccess(0, 20, 50)
+	again := b.PeekInto(dst)
+	if again != dst {
+		t.Fatalf("PeekInto reallocated: %p -> %p", dst, again)
+	}
+	if DistanceABS(again, b.Peek()) != 0 {
+		t.Fatal("reused scratch differs from a fresh Peek")
+	}
+	// Peeks never perturb the charged ledger.
+	_, cost := b.Build()
+	if cost.Objects != 2 || cost.PairAdds != 4 {
+		t.Fatalf("cost after peeks: %+v", cost)
+	}
+}
+
+func TestMapReuse(t *testing.T) {
+	m := NewMap(3)
+	m.Set(0, 2, 9)
+	if r := m.Reuse(3); r != m || r.At(0, 2) != 0 {
+		t.Fatal("Reuse(3) must zero in place")
+	}
+	if r := m.Reuse(2); r != m || r.N() != 2 {
+		t.Fatal("shrinking Reuse must recycle the backing array")
+	}
+	if r := m.Reuse(8); r != m || r.N() != 8 || r.At(7, 0) != 0 {
+		t.Fatal("growing Reuse must resize to a zero map")
+	}
+	if r := (*Map)(nil).Reuse(2); r == nil || r.N() != 2 {
+		t.Fatal("nil Reuse must allocate")
+	}
+}

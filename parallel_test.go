@@ -1,0 +1,54 @@
+package jessica2_test
+
+import (
+	"testing"
+
+	"jessica2/internal/experiments"
+	"jessica2/internal/runner"
+)
+
+// parallelTestScale keeps the identity runs CI-fast (1/16 datasets).
+const parallelTestScale = experiments.Scale(16)
+
+// TestParallelRegenerationIdentity is the parallel runner's golden gate:
+// regenerating an experiment through a 4-worker pool must render the exact
+// bytes the sequential path renders. Table II covers the classic
+// Run-per-Spec generators; Figure S covers the scenario-engine sweep whose
+// cells carry per-run seeded state (fresh scenarios, adaptive controllers).
+// The suite also runs under `make test-race`, which proves the fan-out
+// shares nothing: any cross-worker mutation of kernel, registry or
+// scenario state would trip the race detector here.
+func TestParallelRegenerationIdentity(t *testing.T) {
+	par := runner.New(4)
+
+	t.Run("Table2", func(t *testing.T) {
+		seq := experiments.Table2(parallelTestScale, nil).Table().String()
+		got := experiments.Table2(parallelTestScale, par).Table().String()
+		if got != seq {
+			t.Fatalf("parallel Table II diverged from sequential:\n--- sequential\n%s\n--- parallel\n%s", seq, got)
+		}
+	})
+
+	t.Run("FigS", func(t *testing.T) {
+		seq := experiments.FigS(parallelTestScale, nil).Table().String()
+		got := experiments.FigS(parallelTestScale, par).Table().String()
+		if got != seq {
+			t.Fatalf("parallel Figure S diverged from sequential:\n--- sequential\n%s\n--- parallel\n%s", seq, got)
+		}
+	})
+}
+
+// TestParallelClosedLoopIdentity covers the session-driven generator: the
+// FigCL sweep pipelines dependent waves (policy epochs calibrated from
+// baseline execs) through the pool, and every row — execs, speedups, move
+// and fault counters — must match the sequential fold exactly.
+func TestParallelClosedLoopIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop sweep is the slowest generator")
+	}
+	seq := experiments.FigCL(parallelTestScale, nil).Table().String()
+	got := experiments.FigCL(parallelTestScale, runner.New(4)).Table().String()
+	if got != seq {
+		t.Fatalf("parallel Figure CL diverged from sequential:\n--- sequential\n%s\n--- parallel\n%s", seq, got)
+	}
+}
