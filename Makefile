@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test test-race bench bench-seq demo-closedloop clean
+.PHONY: verify build vet test test-race test-tcmfull bench bench-seq demo-closedloop clean
 
 verify: build vet test
 
@@ -21,6 +21,13 @@ test:
 # it also re-executes the golden-trace determinism tests.
 test-race:
 	go test -race ./...
+
+# test-tcmfull reruns the suite with the legacy full-rebuild TCM builder
+# selected (the incremental builder's oracle); the equivalence property
+# tests run the pair head to head under either tag.
+test-tcmfull:
+	go build -tags tcmfull ./...
+	go test -tags tcmfull ./...
 
 # bench runs the Go benchmarks (allocs/op is the regression metric; see
 # EXPERIMENTS.md) and writes the machine-readable djvmbench report. The

@@ -325,6 +325,76 @@ func BenchmarkTCMBuild(b *testing.B) {
 	}
 }
 
+// tcmPeeker is the builder surface the incremental-vs-legacy TCM
+// microbenchmark drives; both variants are always compiled, so one binary
+// measures the pair head to head.
+type tcmPeeker interface {
+	AddAccess(t int, key int64, bytes float64)
+	PeekInto(dst *tcm.Map) *tcm.Map
+}
+
+// BenchmarkTCMIncremental measures the epoch-snapshot hot path — PeekInto
+// at steady state — on realistic daemon populations: the per-object state a
+// finished closed-loop KVMix / Synthetic-zipf probe ingested. Each
+// iteration models one boundary: a repeat access (the overwhelmingly common
+// per-epoch delta) followed by a reused-scratch peek. The legacy builder
+// re-sorts all M objects and re-accrues every pair per peek; the
+// incremental builder re-syncs only dirtied cells.
+func BenchmarkTCMIncremental(b *testing.B) {
+	for _, load := range []struct{ name, app string }{
+		{"KVMix", "kv"},
+		{"Synthetic-zipf", "zipf"},
+	} {
+		sess, _ := experiments.ClosedLoopProbe(benchScale, load.app)
+		sum := sess.Kernel().Master().Summary()
+		n := sess.Kernel().NumThreads()
+		if sum.NumObjs() == 0 {
+			b.Fatalf("%s probe ingested no objects", load.name)
+		}
+		variants := []struct {
+			name string
+			make func() tcmPeeker
+		}{
+			{"full", func() tcmPeeker {
+				bl := tcm.NewFullBuilder(n)
+				bl.IngestSummary(sum)
+				return bl
+			}},
+			{"incremental", func() tcmPeeker {
+				bl := tcm.NewIncBuilder(n)
+				bl.IngestSummary(sum)
+				return bl
+			}},
+		}
+		for _, v := range variants {
+			b.Run(load.name+"/"+v.name+"/peekinto", func(b *testing.B) {
+				bl := v.make()
+				scratch := bl.PeekInto(nil)
+				b.ReportMetric(float64(sum.NumObjs()), "objects")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					o := sum.Objs[i%len(sum.Objs)]
+					bl.AddAccess(int(o.Threads[0]), o.Key, o.Bytes)
+					scratch = bl.PeekInto(scratch)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkClosedLoopEpochRate measures the closed-loop session end to end
+// at a fixed 2 ms epoch: one full KVMix/phased run with the rebalance
+// policy per iteration, every boundary paying the flush + snapshot +
+// observe pipeline the incremental TCM feeds.
+func BenchmarkClosedLoopEpochRate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sess, _ := experiments.ClosedLoopProbe(benchScale, "kv")
+		b.ReportMetric(float64(sess.Epochs()), "epochs")
+	}
+}
+
 // BenchmarkStackSample measures one sampler activation on a 12-deep stack.
 func BenchmarkStackSample(b *testing.B) {
 	reg := heap.NewRegistry()

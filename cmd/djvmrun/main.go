@@ -29,12 +29,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"jessica2"
 	"jessica2/internal/runner"
@@ -59,6 +62,7 @@ type runConfig struct {
 	seeds     int
 	parallel  int
 	scenSeed  uint64 // 0 = follow the workload seed
+	benchjson string // write a machine-readable run report to this file
 }
 
 // newWorkload instantiates the named benchmark (fresh instance per call so
@@ -116,6 +120,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		epoch     = fs.Duration("epoch", 0, "explicit closed-loop epoch length (overrides -epochs; skips the pilot run)")
 		seeds     = fs.Int("seeds", 1, "replicate the run over N consecutive seeds")
 		parallel  = fs.Int("parallel", 0, "worker pool for -seeds replicas (0 = GOMAXPROCS, 1 = sequential)")
+		benchjson = fs.String("benchjson", "", "write a machine-readable run report (exec times, wall clock, TCM builder variant) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -126,7 +131,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		showTCM: *showTCM, plan: *plan, scenSpec: *scenSpec,
 		policyTag: strings.ToLower(*policy),
 		epochs:    *epochs, epoch: jessica2.Time(epoch.Nanoseconds()),
-		seeds: *seeds, parallel: *parallel,
+		seeds: *seeds, parallel: *parallel, benchjson: *benchjson,
 	}
 	if _, err := newWorkload(rc.app); err != nil {
 		return nil, err
@@ -224,13 +229,38 @@ func (rc *runConfig) buildSession(scen *jessica2.Scenario, policy jessica2.Polic
 	return sess, prof, nil
 }
 
+// runReport is the -benchjson document: one machine-readable record of the
+// invocation, its per-seed simulated execution times and the host-side
+// wall clock, tagged with the TCM builder variant the binary carries so
+// before/after perf artifacts are self-describing.
+type runReport struct {
+	App        string    `json:"app"`
+	Scenario   string    `json:"scenario"`
+	Policy     string    `json:"policy"`
+	Seeds      int       `json:"seeds"`
+	Parallel   int       `json:"parallel"`
+	GoVersion  string    `json:"go_version"`
+	TCMBuilder string    `json:"tcm_builder"`
+	ExecMs     []float64 `json:"exec_ms"`
+	WallMs     float64   `json:"wall_clock_ms"`
+}
+
 // execute runs the parsed invocation, writing the report to out. With
 // -seeds N > 1 the replicas fan out over the runner pool, each rendering
 // into its own buffer; buffers are printed in seed order so the combined
-// report is byte-identical at any parallelism.
+// report is byte-identical at any parallelism. With -benchjson the
+// per-seed execution times and wall clock are additionally written as a
+// JSON report.
 func (rc *runConfig) execute(out io.Writer) error {
+	start := time.Now()
+	execs := make([]jessica2.Time, rc.seeds)
 	if rc.seeds == 1 {
-		return rc.runSeed(rc.seed, out)
+		var err error
+		execs[0], err = rc.runSeed(rc.seed, out)
+		if err != nil {
+			return err
+		}
+		return rc.writeBenchJSON(execs, time.Since(start))
 	}
 	pool := runner.New(rc.parallel)
 	type result struct {
@@ -239,7 +269,7 @@ func (rc *runConfig) execute(out io.Writer) error {
 	}
 	results := make([]result, rc.seeds)
 	runner.Go(pool, rc.seeds, func(i int) {
-		results[i].err = rc.runSeed(rc.seed+uint64(i), &results[i].buf)
+		execs[i], results[i].err = rc.runSeed(rc.seed+uint64(i), &results[i].buf)
 	})
 	for i := range results {
 		fmt.Fprintf(out, "===== seed %d =====\n", rc.seed+uint64(i))
@@ -250,11 +280,38 @@ func (rc *runConfig) execute(out io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return rc.writeBenchJSON(execs, time.Since(start))
 }
 
-// runSeed executes one replica of the invocation at the given seed.
-func (rc *runConfig) runSeed(seed uint64, out io.Writer) error {
+// writeBenchJSON emits the -benchjson report (no-op when the flag is
+// unset).
+func (rc *runConfig) writeBenchJSON(execs []jessica2.Time, wall time.Duration) error {
+	if rc.benchjson == "" {
+		return nil
+	}
+	rep := runReport{
+		App:        rc.app,
+		Scenario:   rc.scenSpec,
+		Policy:     rc.policyTag,
+		Seeds:      rc.seeds,
+		Parallel:   rc.parallel,
+		GoVersion:  runtime.Version(),
+		TCMBuilder: jessica2.TCMBuilderVariant(),
+		WallMs:     float64(wall.Nanoseconds()) / 1e6,
+	}
+	for _, e := range execs {
+		rep.ExecMs = append(rep.ExecMs, e.Milliseconds())
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(rc.benchjson, append(data, '\n'), 0o644)
+}
+
+// runSeed executes one replica of the invocation at the given seed,
+// returning the workload execution time.
+func (rc *runConfig) runSeed(seed uint64, out io.Writer) (jessica2.Time, error) {
 	// Fresh per-replica instances: the scenario's jitter stream follows the
 	// replica's seed (unless pinned by -scenario-seed), and policies may
 	// carry state across epochs.
@@ -264,11 +321,11 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) error {
 	}
 	scen, err := jessica2.ParseScenario(rc.scenSpec, rc.nodes, ss)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	policy, err := newPolicy(rc.policyTag)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	scenName := "none"
 	if scen != nil {
@@ -280,11 +337,11 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) error {
 		// Pilot run: measure the baseline to calibrate the epoch length.
 		pilot, _, err := rc.buildSession(scen, nil, seed, 0)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		rep, err := pilot.Run()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		epoch = rep.ExecTime() / jessica2.Time(rc.epochs)
 		if epoch <= 0 {
@@ -296,15 +353,15 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) error {
 
 	sess, prof, err := rc.buildSession(scen, policy, seed, epoch)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	rep, err := sess.Run()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	w, err := newWorkload(rc.app)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fmt.Fprintf(out, "%s on %d nodes, %d threads (scenario: %s)\n\n%s\n",
 		w.Name(), rc.nodes, rc.threads, scenName, rep)
@@ -358,7 +415,7 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) error {
 			fmt.Fprintf(out, "  %s\n", mv)
 		}
 	}
-	return nil
+	return rep.ExecTime(), nil
 }
 
 func main() {

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -120,6 +122,41 @@ func TestExecuteSeedsParallelIdentity(t *testing.T) {
 		if !strings.Contains(seq, want) {
 			t.Errorf("combined report missing %q", want)
 		}
+	}
+}
+
+// TestExecuteBenchJSON: -benchjson writes a machine-readable run report
+// with per-seed exec times and the TCM builder variant.
+func TestExecuteBenchJSON(t *testing.T) {
+	path := t.TempDir() + "/run.json"
+	rc, err := parse(t,
+		"-app", "kv", "-threads", "4", "-nodes", "2", "-tcm=false",
+		"-seeds", "2", "-parallel", "1", "-benchjson", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.benchjson != path {
+		t.Fatalf("benchjson flag not parsed: %+v", rc)
+	}
+	if err := rc.execute(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep runReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON report: %v\n%s", err, data)
+	}
+	if rep.App != "kv" || rep.Seeds != 2 || len(rep.ExecMs) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.TCMBuilder != jessica2.TCMBuilderVariant() {
+		t.Fatalf("tcm_builder = %q, want %q", rep.TCMBuilder, jessica2.TCMBuilderVariant())
+	}
+	if rep.ExecMs[0] <= 0 || rep.WallMs <= 0 {
+		t.Fatalf("non-positive timings: %+v", rep)
 	}
 }
 

@@ -239,6 +239,25 @@ func FigCL(sc Scale, p *runner.Pool) *FigCLResult {
 	return res
 }
 
+// ClosedLoopProbe runs one closed-loop cell to completion — KVMix or the
+// zipf-skewed Synthetic under the phased scenario, rebalance policy, fixed
+// 2 ms epochs (no pilot calibration, so one deterministic run) — and
+// returns the finished session plus its execution time. It is the shared
+// substrate of the epoch-rate benchmarks and the djvmbench epoch-snapshot
+// case: a finished probe's master daemon holds a realistic ingested
+// population for TCM micro-benchmarks, and the run itself exercises the
+// per-boundary snapshot path once per epoch.
+func ClosedLoopProbe(sc Scale, load string) (*session.Session, sim.Time) {
+	var w workload.Workload
+	switch load {
+	case "kv", "kvmix":
+		w = figCLKVMix(sc)
+	default:
+		w = figCLSynthetic(sc)
+	}
+	return figCLRun(w, "phased", 42, session.NewRebalancePolicy(), 2*sim.Millisecond)
+}
+
 // Row returns the (workload, scenario, mode) cell, or nil.
 func (r *FigCLResult) Row(load, scen, mode string) *FigCLRow {
 	for i := range r.Rows {

@@ -144,7 +144,12 @@ func widen(mp *tcm.Map, n int) *tcm.Map {
 }
 
 // Build constructs the TCM for n threads from everything ingested, charging
-// analyzer CPU for the accrual pass.
+// analyzer CPU for the accrual pass. The charge is the paper's simulated
+// O(M·N²) reorganize-and-accrue cost (cost.Objects and the cumulative
+// cost.PairAdds), which both builder variants report identically — the
+// incremental default maintains the map online, so its *host-side* Build is
+// O(1), but the simulated analyzer the ledger models still pays for the
+// full pass.
 func (m *Master) Build(n int) (*tcm.Map, tcm.BuildCost) {
 	bl := m.ensureBuilder()
 	mp, cost := bl.Build()
@@ -169,6 +174,20 @@ func (m *Master) Peek(n int) *tcm.Map {
 // a fresh map (the rare, cold path).
 func (m *Master) PeekInto(dst *tcm.Map, n int) *tcm.Map {
 	return widen(m.ensureBuilder().PeekInto(dst), n)
+}
+
+// VisitNewlyShared streams objects observed as shared by at least two
+// threads (ascending key order: key, current logged weight, ascending
+// accessor ids — the threads slice is scratch valid only during the
+// callback). Callers MUST dedupe across calls themselves (the session
+// keeps a hotSeen set): the incremental builder narrows successive visits
+// to the O(new) pending list — consume retires entries acknowledged with a
+// true return, declined entries stay pending — but that narrowing is an
+// optimization, not a delivery guarantee; the legacy `-tags tcmfull`
+// builder re-scans all shared objects on every call and ignores
+// consume/return. Like Peek, it never charges simulated analyzer CPU.
+func (m *Master) VisitNewlyShared(consume bool, visit func(key int64, bytes float64, threads []int32) bool) {
+	m.ensureBuilder().VisitNewlyShared(consume, visit)
 }
 
 // ResetWindow clears ingested state for a fresh profiling window.

@@ -46,6 +46,16 @@ type Node struct {
 	oalBuf        []*oal.Record
 	oalBufEntries int
 
+	// summBuilder is the worker-side reorganization daemon reused across
+	// distributed-TCM flushes (a fresh builder per drain would re-allocate
+	// per-object state every jumbo message); rebuilt only when the thread
+	// count grows. Only Summarize is read from it, so the incremental
+	// builder's pair accumulator is dead weight here — but its bitset
+	// ingestion (one bit test per repeat entry) and sort-free Summarize
+	// more than pay for the bounded O(N²) clear at Reset, so the default
+	// Builder alias is the right worker-side choice under either tag.
+	summBuilder *tcm.Builder
+
 	// pending maps in-flight remote-operation tokens to the blocked thread.
 	pending map[int64]*Thread
 	nextTok int64
@@ -267,7 +277,12 @@ func (n *Node) drainOAL(t *Thread) *oalPayload {
 	n.oalBufEntries = 0
 	p := &oalPayload{}
 	if n.k.Cfg.DistributedTCM {
-		bl := tcm.NewBuilder(len(n.k.threads))
+		if n.summBuilder == nil || n.summBuilder.N() != len(n.k.threads) {
+			n.summBuilder = tcm.NewBuilder(len(n.k.threads))
+		} else {
+			n.summBuilder.Reset()
+		}
+		bl := n.summBuilder
 		entries := 0
 		for _, r := range recs {
 			bl.IngestRecord(r)

@@ -21,9 +21,12 @@ import (
 // Boundary snapshots handed to Policy.Observe reuse per-session scratch
 // buffers for TCM, Footprints, RateTrace and Finished — they are valid for
 // the duration of the Observe call and are overwritten at the next epoch
-// boundary. A policy that needs to keep a view across epochs must copy it
-// (e.g. TCM.Clone). Snapshots from Session.Snapshot are freshly allocated
-// and safe to retain.
+// boundary. The views are read-only: the TCM scratch in particular is
+// re-synced incrementally (only cells that changed since the last boundary
+// are rewritten), so a policy that writes into snap.TCM corrupts every
+// subsequent boundary snapshot, not just its own. A policy that needs to
+// keep or modify a view must copy it (e.g. TCM.Clone). Snapshots from
+// Session.Snapshot are freshly allocated and safe to retain or mutate.
 type Snapshot struct {
 	// Now is the virtual time of the pause; Epoch counts processed
 	// boundaries; Done marks a completed run.

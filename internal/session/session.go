@@ -421,37 +421,41 @@ func (s *Session) snapshot(profile, boundary bool) *Snapshot {
 	return snap
 }
 
-// hotObjects extracts the newly shared objects from the master's summary:
+// hotObjects extracts the newly shared objects from the master's daemon:
 // objects accessed by at least two threads that previous boundaries have
 // not already surfaced. Boundary snapshots consume (mark) them; ad-hoc
-// snapshots only peek.
+// snapshots only peek. The incremental builder feeds this O(new) from its
+// pending list — per-epoch cost scales with the objects that *became*
+// shared since the last boundary, not with all M objects ever ingested
+// (the legacy -tags tcmfull builder scans, and the session's hotSeen set
+// keeps the surfaced list identical either way).
 func (s *Session) hotObjects(consume bool) []HotObject {
-	sum := s.k.Master().Summary()
 	var hot []HotObject
-	for _, os := range sum.Objs {
-		if len(os.Threads) < 2 || s.hotSeen[os.Key] {
-			continue
+	s.k.Master().VisitNewlyShared(consume, func(key int64, volume float64, threads []int32) bool {
+		if s.hotSeen[key] {
+			return true // surfaced at an earlier boundary: retire silently
 		}
-		o := s.k.Reg.Object(heap.ObjectID(os.Key))
+		o := s.k.Reg.Object(heap.ObjectID(key))
 		if o == nil {
-			continue
+			return false // unknown to the registry (yet): keep pending
 		}
 		if consume {
 			if s.hotSeen == nil {
 				s.hotSeen = make(map[int64]bool)
 			}
-			s.hotSeen[os.Key] = true
+			s.hotSeen[key] = true
 		}
 		hot = append(hot, HotObject{
 			Object:  o.ID,
 			Home:    o.Home,
 			Bytes:   o.Bytes(),
-			Volume:  os.Bytes,
-			Threads: append([]int32(nil), os.Threads...),
+			Volume:  volume,
+			Threads: append([]int32(nil), threads...),
 		})
-	}
-	// Summary is sorted by key; keep that order (allocation order), which
-	// is deterministic and groups co-allocated hot ranges.
+		return consume
+	})
+	// Visits arrive sorted by key (allocation order), which is
+	// deterministic and groups co-allocated hot ranges.
 	return hot
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // schedQueue is the engine's two-level bucketed event scheduler: a
 // calendar-queue ring of small per-bucket heaps covering the near horizon,
@@ -16,6 +19,12 @@ import "math/bits"
 // `simheap` build tag selects the plain heap as a fallback; the property
 // tests in sched_test.go assert pop-order equivalence on random streams).
 //
+// The bucket geometry is configurable per engine (Config.SchedBucketBits /
+// Config.SchedRingBuckets, defaults below): wider buckets smear a busy
+// instant across fewer, deeper heaps; a longer ring trades occupancy-scan
+// memory for fewer far-timer migrations. The geometry-sweep benchmark in
+// sched_test.go measures the trade-off across dense/uniform/far loads.
+//
 // Invariants:
 //   - every ring event e satisfies base <= e.at < horizon, where
 //     horizon = base + span and base is the start of the cursor's bucket;
@@ -24,39 +33,89 @@ import "math/bits"
 //     event's bucket, peeking never mutates, and the engine never schedules
 //     in the past — so a push always lands at or beyond base.
 const (
-	// bucketBits sets the bucket width: 1<<bucketBits ns per bucket. 4096 ns
+	// defaultBucketBits sets the default bucket width: 1<<12 = 4096 ns
 	// spans the engine's dense event cluster (per-access CPU charges and
 	// protocol latencies are tens of ns to a few µs) without smearing one
 	// busy instant across many buckets.
-	bucketBits = 12
-	// ringBuckets is the ring size; with 4 µs buckets the ring covers a
-	// ~1 ms horizon, beyond which timers wait in the overflow heap.
-	ringBuckets = 256
-	ringMask    = ringBuckets - 1
-	bucketWidth = Time(1) << bucketBits
-	ringSpan    = Time(ringBuckets) << bucketBits
-	occWords    = ringBuckets / 64
+	defaultBucketBits = 12
+	// defaultRingBuckets is the default ring size; with 4 µs buckets the
+	// ring covers a ~1 ms horizon, beyond which timers wait in the
+	// overflow heap.
+	defaultRingBuckets = 256
+
+	// bucketWidth and ringSpan describe the *default* geometry (kept as
+	// constants for the scheduler tests' stream distributions).
+	bucketWidth = Time(1) << defaultBucketBits
+	ringSpan    = Time(defaultRingBuckets) << defaultBucketBits
 )
 
 type schedQueue struct {
-	ring  [ringBuckets]eventPQ
-	occ   [occWords]uint64 // occupancy bitmap: bit i set iff ring[i] non-empty
-	ringN int              // events currently in the ring
-	n     int              // total events (ring + overflow)
+	// Geometry, fixed at first use: bucket width 1<<bits ns, len(ring)
+	// buckets (power of two, multiple of 64 so the occupancy bitmap is
+	// whole words). A zero-value queue lazily adopts the defaults.
+	bits uint
+	mask int  // len(ring) - 1
+	span Time // len(ring) << bits: ring coverage
+
+	ring  []eventPQ
+	occ   []uint64 // occupancy bitmap: bit i set iff ring[i] non-empty
+	ringN int      // events currently in the ring
+	n     int      // total events (ring + overflow)
 
 	cursor  int  // bucket holding the earliest ring events
 	base    Time // start time of the cursor bucket
-	horizon Time // base + ringSpan: exclusive upper bound of ring coverage
+	horizon Time // base + span: exclusive upper bound of ring coverage
 
 	overflow eventPQ // far timers, at >= horizon
+}
+
+// configure installs a non-default geometry. It must run before any event
+// is pushed (the engine calls it at construction); reconfiguring a live
+// queue would remap every bucketed event.
+func (q *schedQueue) configure(cfg Config) {
+	if q.n != 0 || q.ring != nil {
+		panic("sim: scheduler geometry configured after first use")
+	}
+	q.init(cfg.SchedBucketBits, cfg.SchedRingBuckets)
+}
+
+// init materializes the ring; zero arguments select the defaults.
+func (q *schedQueue) init(bucketBits, buckets int) {
+	if bucketBits == 0 {
+		bucketBits = defaultBucketBits
+	}
+	if buckets == 0 {
+		buckets = defaultRingBuckets
+	}
+	if bucketBits < 1 || bucketBits > 40 {
+		panic(fmt.Sprintf("sim: bucket bits %d out of range [1, 40]", bucketBits))
+	}
+	if buckets < 64 || buckets&(buckets-1) != 0 {
+		panic(fmt.Sprintf("sim: ring buckets %d must be a power of two >= 64", buckets))
+	}
+	// The coverage span buckets<<bits must fit in Time: an overflowed span
+	// would pin the horizon at/below zero and route every event through
+	// the overflow heap with no bucket ever draining it.
+	if bucketBits+bits.Len(uint(buckets-1)) > 62 {
+		panic(fmt.Sprintf("sim: geometry %d-bit buckets × %d ring overflows the coverage span", bucketBits, buckets))
+	}
+	q.bits = uint(bucketBits)
+	q.mask = buckets - 1
+	q.span = Time(buckets) << q.bits
+	q.ring = make([]eventPQ, buckets)
+	q.occ = make([]uint64, buckets/64)
+	q.horizon = q.span // base starts at 0
 }
 
 func (q *schedQueue) size() int   { return q.n }
 func (q *schedQueue) empty() bool { return q.n == 0 }
 
-func bucketIndex(at Time) int { return int(at>>bucketBits) & ringMask }
+func (q *schedQueue) bucketIndex(at Time) int { return int(at>>q.bits) & q.mask }
 
 func (q *schedQueue) push(e event) {
+	if q.ring == nil {
+		q.init(0, 0)
+	}
 	q.n++
 	if e.at < q.horizon {
 		q.pushRing(e)
@@ -66,7 +125,7 @@ func (q *schedQueue) push(e event) {
 }
 
 func (q *schedQueue) pushRing(e event) {
-	i := bucketIndex(e.at)
+	i := q.bucketIndex(e.at)
 	q.ring[i].push(e)
 	q.occ[i>>6] |= 1 << uint(i&63)
 	q.ringN++
@@ -75,6 +134,7 @@ func (q *schedQueue) pushRing(e event) {
 // nextOccupied returns the first non-empty bucket at or after `from` in ring
 // order (wrapping), or -1 when the whole ring is empty.
 func (q *schedQueue) nextOccupied(from int) int {
+	occWords := len(q.occ)
 	word, off := from>>6, uint(from&63)
 	if b := q.occ[word] &^ (1<<off - 1); b != 0 {
 		return word<<6 + bits.TrailingZeros64(b)
@@ -115,9 +175,9 @@ func (q *schedQueue) drain() {
 // skipping the idle gap in O(1) instead of walking buckets.
 func (q *schedQueue) jump() {
 	at := q.overflow[0].at
-	q.base = at &^ (bucketWidth - 1)
-	q.horizon = q.base + ringSpan
-	q.cursor = bucketIndex(q.base)
+	q.base = at &^ (Time(1)<<q.bits - 1)
+	q.horizon = q.base + q.span
+	q.cursor = q.bucketIndex(q.base)
 	q.drain()
 }
 
@@ -142,19 +202,19 @@ func (q *schedQueue) pop() event {
 		// or it would land in a bucket the cursor has already passed.
 		var d int
 		if idx := q.nextOccupied(q.cursor); idx >= 0 {
-			d = (idx - q.cursor) & ringMask
+			d = (idx - q.cursor) & q.mask
 		} else {
 			q.jump()
 			continue
 		}
 		if len(q.overflow) > 0 {
-			if dOv := int((q.overflow[0].at-q.horizon)>>bucketBits) + 1; dOv < d {
+			if dOv := int((q.overflow[0].at-q.horizon)>>q.bits) + 1; dOv < d {
 				d = dOv
 			}
 		}
-		q.cursor = (q.cursor + d) & ringMask
-		q.base += Time(d) << bucketBits
-		q.horizon += Time(d) << bucketBits
+		q.cursor = (q.cursor + d) & q.mask
+		q.base += Time(d) << q.bits
+		q.horizon += Time(d) << q.bits
 		q.drain()
 	}
 }

@@ -1,0 +1,18 @@
+//go:build !tcmfull
+
+package tcm
+
+// Builder selects the correlation-daemon implementation the rest of the
+// system (gos.Master, worker summarizers, pagesim) instantiates. The
+// default build maintains the TCM incrementally (IncBuilder); build with
+// `-tags tcmfull` to fall back to the legacy full-rebuild daemon (the
+// baseline for the TCM microbenchmarks and the oracle for bisecting
+// regressions), mirroring the scheduler's `simheap` precedent.
+type Builder = IncBuilder
+
+// NewBuilder returns a daemon for n threads (the incremental builder in
+// this build).
+func NewBuilder(n int) *Builder { return NewIncBuilder(n) }
+
+// BuilderVariant names the selected implementation for CLI perf reports.
+func BuilderVariant() string { return "incremental" }

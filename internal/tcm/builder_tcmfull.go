@@ -1,0 +1,14 @@
+//go:build tcmfull
+
+package tcm
+
+// Builder falls back to the legacy full-rebuild daemon under the `tcmfull`
+// build tag (see builder_default.go for the incremental default).
+type Builder = FullBuilder
+
+// NewBuilder returns a daemon for n threads (the legacy full-rebuild
+// builder in this build).
+func NewBuilder(n int) *Builder { return NewFullBuilder(n) }
+
+// BuilderVariant names the selected implementation for CLI perf reports.
+func BuilderVariant() string { return "full" }

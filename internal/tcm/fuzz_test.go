@@ -117,6 +117,105 @@ func FuzzBuilder(f *testing.F) {
 	})
 }
 
+// FuzzBuilderEquivalence drives the incremental and legacy builders through
+// one adversarial op stream — raw accesses with hostile thread ids, weight
+// upgrades, record and summary ingestion, charged builds, scratch peeks and
+// window resets — and asserts the two stay observationally identical:
+// bit-equal maps and equal cost ledgers at every build point. Weights are
+// bounded to uint16 so both variants operate in the regime where integer
+// and float accumulation are exact (the documented fixed-point envelope);
+// within it, equivalence must be exact, not approximate.
+func FuzzBuilderEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	// Pair formation, an upgrade, a build, a hostile id, a reset, a build.
+	f.Add([]byte{
+		0, 0, 1, 0, 100, 0, 0, 0,
+		0, 1, 1, 0, 100, 0, 0, 0,
+		0, 2, 1, 0, 200, 0, 0, 0,
+		3, 0, 0, 0, 0, 0, 0, 0,
+		0, 250, 1, 0, 50, 0, 0, 0,
+		4, 0, 0, 0, 0, 0, 0, 0,
+		3, 0, 0, 0, 0, 0, 0, 0,
+	})
+	// Record + summary ingestion and a scratch peek.
+	f.Add([]byte{
+		1, 3, 0, 7, 1, 1, 2, 3,
+		2, 120, 0, 5, 0, 44, 1, 200,
+		5, 0, 0, 0, 0, 0, 0, 0,
+		3, 9, 9, 9, 9, 9, 9, 9,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 8
+		inc := NewIncBuilder(n)
+		full := NewFullBuilder(n)
+		var incScratch, fullScratch *Map
+		compare := func(tag string, mi, mf *Map) {
+			t.Helper()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if mi.At(i, j) != mf.At(i, j) {
+						t.Fatalf("%s: [%d][%d] incremental %v vs full %v",
+							tag, i, j, mi.At(i, j), mf.At(i, j))
+					}
+				}
+			}
+		}
+		for len(data) >= 8 {
+			op, rest := data[0], data[1:8]
+			data = data[8:]
+			switch op % 6 {
+			case 0: // raw access, thread id deliberately unclamped
+				thread := int(int8(rest[0]))
+				key := int64(rest[1])
+				bytes := float64(binary.LittleEndian.Uint16(rest[3:5]))
+				inc.AddAccess(thread, key, bytes)
+				full.AddAccess(thread, key, bytes)
+			case 1: // a malformed OAL record
+				rec := &oal.Record{
+					Thread:   int(int8(rest[0])),
+					Node:     int(int8(rest[1])),
+					Interval: int64(rest[2]),
+				}
+				for i := 3; i+1 < len(rest); i += 2 {
+					rec.Entries = append(rec.Entries, oal.Entry{
+						Obj:   heap.ObjectID(rest[i]),
+						Bytes: int64(rest[i+1]),
+					})
+				}
+				inc.IngestRecord(rec)
+				full.IngestRecord(rec)
+			case 2: // a summary with arbitrary thread ids
+				s := &Summary{Objs: []ObjSummary{{
+					Key:     int64(rest[0]),
+					Bytes:   float64(binary.LittleEndian.Uint16(rest[1:3])),
+					Threads: []int32{int32(int8(rest[3])), int32(rest[4]), int32(int8(rest[5]))},
+				}}}
+				inc.IngestSummary(s)
+				full.IngestSummary(s)
+			case 3:
+				mi, ci := inc.Build()
+				mf, cf := full.Build()
+				compare("Build", mi, mf)
+				checkMapInvariants(t, mi)
+				if ci != cf {
+					t.Fatalf("cost incremental %+v vs full %+v", ci, cf)
+				}
+			case 4:
+				inc.Reset()
+				full.Reset()
+			case 5: // reused-scratch peek: the epoch snapshot path
+				incScratch = inc.PeekInto(incScratch)
+				fullScratch = full.PeekInto(fullScratch)
+				compare("PeekInto", incScratch, fullScratch)
+			}
+		}
+		mi, _ := inc.Build()
+		mf, _ := full.Build()
+		compare("final", mi, mf)
+	})
+}
+
 // FuzzDistances feeds arbitrary map pairs to the distance metrics and
 // asserts they are finite-or-inf, non-negative, and zero on identical maps.
 func FuzzDistances(f *testing.F) {

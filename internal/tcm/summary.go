@@ -1,15 +1,14 @@
 package tcm
 
-import "sort"
-
 // The paper's §VI names "distributed algorithms for deducing correlation
 // maps in a more scalable way" as future work: the central daemon's
 // O(M·N) OAL reorganization is a bottleneck for large M. This file
-// implements that extension: each worker node reorganizes its *own*
-// threads' OALs into per-object summaries locally, and the master merges
-// summaries — which both parallelizes the reorganization and usually
-// shrinks the wire volume (an object accessed in k intervals collapses
-// into one summary entry).
+// defines that extension's wire format: each worker node reorganizes its
+// *own* threads' OALs into per-object summaries locally, and the master
+// merges summaries — which both parallelizes the reorganization and
+// usually shrinks the wire volume (an object accessed in k intervals
+// collapses into one summary entry). The Summarize/IngestSummary halves
+// live with each builder implementation (builder_inc.go, builder_full.go).
 //
 // Correctness requires merging per-object *thread sets*, not built maps:
 // if thread 0's access to an object is known only to node A and thread
@@ -45,61 +44,3 @@ func (s *Summary) WireBytes() int {
 
 // NumObjs reports the number of summarized objects.
 func (s *Summary) NumObjs() int { return len(s.Objs) }
-
-// Summarize exports the builder's per-object state as a mergeable summary
-// (sorted by key for determinism) and is the worker-side half of the
-// distributed reduction.
-func (b *Builder) Summarize() *Summary {
-	s := &Summary{Objs: make([]ObjSummary, 0, len(b.objs))}
-	keys := make([]int64, 0, len(b.objs))
-	for k := range b.objs {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		oe := b.objs[k]
-		ts := make([]int32, 0, len(oe.threads))
-		for t := range oe.threads {
-			ts = append(ts, int32(t))
-		}
-		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
-		s.Objs = append(s.Objs, ObjSummary{Key: k, Bytes: oe.bytes, Threads: ts})
-	}
-	return s
-}
-
-// IngestSummary merges a worker summary into the builder (the master-side
-// half). Thread sets union; the larger byte estimate wins, matching
-// AddAccess semantics — including its rejection of malformed out-of-range
-// thread ids.
-func (b *Builder) IngestSummary(s *Summary) {
-	for _, o := range s.Objs {
-		oe := b.objs[o.Key]
-		if oe == nil {
-			if n := len(b.free); n > 0 {
-				oe = b.free[n-1]
-				b.free = b.free[:n-1]
-			} else {
-				oe = &objEntry{threads: make(map[int]struct{}, len(o.Threads))}
-			}
-			b.objs[o.Key] = oe
-		}
-		if o.Bytes > oe.bytes {
-			oe.bytes = o.Bytes
-		}
-		for _, t := range o.Threads {
-			if t < 0 || int(t) >= b.n {
-				b.cost.DroppedEntries++
-				continue
-			}
-			oe.threads[int(t)] = struct{}{}
-		}
-		b.cost.Entries += len(o.Threads)
-	}
-}
-
-// Merge unions another builder's state into b (in-process variant of the
-// summary path, used by tests and by hierarchical reductions).
-func (b *Builder) Merge(other *Builder) {
-	b.IngestSummary(other.Summarize())
-}

@@ -8,10 +8,7 @@ package tcm
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
-
-	"jessica2/internal/oal"
 )
 
 // Map is a symmetric N×N matrix of shared bytes per thread pair. The
@@ -188,6 +185,13 @@ func (m *Map) String() string {
 // simulator to charge CPU time: reorganization is O(M·N̄) over M objects
 // and TCM accrual is O(M·N²) worst case (PairAdds counts the realized
 // pairwise additions).
+//
+// The ledger reports the paper's *simulated* charge: both builder variants
+// (the incremental default and the `-tags tcmfull` legacy full rebuild)
+// account a charged Build as the full O(M·N²) reorganize-and-accrue pass,
+// even though the incremental builder's host-side work per Build is O(1).
+// The simulated analyzer the tables charge is the paper's daemon, not our
+// maintenance strategy.
 type BuildCost struct {
 	Records  int
 	Entries  int
@@ -198,145 +202,8 @@ type BuildCost struct {
 	DroppedEntries int64
 }
 
-// Builder is the correlation-computing daemon state: it ingests OAL batches
-// and reorganizes per-thread lists into per-object thread lists.
-type Builder struct {
-	n    int
-	objs map[int64]*objEntry
-	cost BuildCost
-
-	// free recycles objEntry structs (and their thread-set maps) across
-	// profiling windows; keys and ts are iteration scratch reused across
-	// Build calls. Together they make the per-window daemon work
-	// allocation-free at steady state.
-	free []*objEntry
-	keys []int64
-	ts   []int
-}
-
-type objEntry struct {
-	bytes   float64
-	threads map[int]struct{}
-}
-
-// NewBuilder returns a daemon for n threads.
-func NewBuilder(n int) *Builder {
-	return &Builder{n: n, objs: make(map[int64]*objEntry)}
-}
-
-// N returns the thread-count dimension.
-func (b *Builder) N() int { return b.n }
-
-// Ingest reorganizes one batch of records into the per-object lists.
-func (b *Builder) Ingest(batch *oal.Batch) {
-	for _, r := range batch.Records {
-		b.IngestRecord(r)
-	}
-}
-
-// IngestRecord reorganizes one record.
-func (b *Builder) IngestRecord(r *oal.Record) {
-	b.cost.Records++
-	for _, e := range r.Entries {
-		b.cost.Entries++
-		b.AddAccess(r.Thread, int64(e.Obj), float64(e.Bytes))
-	}
-}
-
-// AddAccess records that thread t accessed the keyed object with the given
-// logged weight. The weight of the first log wins (all threads log the same
-// amortized size for the same object at the same gap); larger weights
-// replace smaller ones so that re-logging at a finer gap upgrades the entry.
-// Records arrive over the network, so a malformed thread id outside [0, n)
-// must not crash the daemon: such entries are dropped (counted in
-// DroppedEntries).
-func (b *Builder) AddAccess(t int, key int64, bytes float64) {
-	if t < 0 || t >= b.n {
-		b.cost.DroppedEntries++
-		return
-	}
-	oe := b.objs[key]
-	if oe == nil {
-		if n := len(b.free); n > 0 {
-			oe = b.free[n-1]
-			b.free = b.free[:n-1]
-		} else {
-			oe = &objEntry{threads: make(map[int]struct{}, 2)}
-		}
-		b.objs[key] = oe
-	}
-	if bytes > oe.bytes {
-		oe.bytes = bytes
-	}
-	oe.threads[t] = struct{}{}
-}
-
-// Build constructs the TCM by accruing, for every object, its weight into
-// every pair of threads that accessed it in common, charging the cost
-// ledger for the accrual pass.
-func (b *Builder) Build() (*Map, BuildCost) {
-	m := b.buildMap(nil, true)
-	return m, b.cost
-}
-
-// Peek constructs the same map Build would, but leaves the cost ledger
-// untouched: no Objects/PairAdds accrual, so a charged Build that follows
-// observes exactly the state it would have without the peek. Live snapshots
-// use it to expose the incremental TCM without perturbing the simulated
-// analyzer's CPU accounting.
-func (b *Builder) Peek() *Map { return b.buildMap(nil, false) }
-
-// PeekInto is Peek with caller-owned scratch: the accrual writes into dst
-// (recycled via Reuse; nil allocates). Closed-loop sessions peek at every
-// epoch boundary, and rebuilding the N×N map each epoch was the allocation
-// hot spot of closed-loop runs — reusing one per-session map removes it.
-// The returned map aliases dst and is valid until the next PeekInto.
-func (b *Builder) PeekInto(dst *Map) *Map { return b.buildMap(dst, false) }
-
-// buildMap is the shared accrual pass behind Build and Peek.
-func (b *Builder) buildMap(dst *Map, charge bool) *Map {
-	m := dst.Reuse(b.n)
-	if charge {
-		b.cost.Objects = len(b.objs)
-	}
-	// Deterministic iteration: sort object keys.
-	keys := b.keys[:0]
-	for k := range b.objs {
-		keys = append(keys, k)
-	}
-	b.keys = keys
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		oe := b.objs[k]
-		if len(oe.threads) < 2 {
-			continue
-		}
-		ts := b.ts[:0]
-		for t := range oe.threads {
-			ts = append(ts, t)
-		}
-		b.ts = ts
-		sort.Ints(ts)
-		for i := 0; i < len(ts); i++ {
-			for j := i + 1; j < len(ts); j++ {
-				m.Add(ts[i], ts[j], oe.bytes)
-			}
-		}
-		if charge {
-			b.cost.PairAdds += int64(len(ts)) * int64(len(ts)-1) / 2
-		}
-	}
-	return m
-}
-
-// Reset clears ingested state for the next profiling window, retaining the
-// entry structs and thread-set maps for reuse.
-func (b *Builder) Reset() {
-	for _, oe := range b.objs {
-		oe.bytes = 0
-		clear(oe.threads)
-		b.free = append(b.free, oe)
-	}
-	clear(b.objs)
-	b.cost = BuildCost{}
-}
+// freePoolCap bounds the builder entry pools retained across Reset: a storm
+// window must not permanently pin its peak objEntry population. Keeping
+// 2×(the window just recycled)+slack adapts the pool to the current working
+// set within one window of a large→small transition.
+func freePoolCap(recycled int) int { return 2*recycled + 64 }

@@ -81,6 +81,10 @@ import (
 // Time is virtual simulation time in nanoseconds.
 type Time = sim.Time
 
+// SchedConfig tunes the engine's calendar-scheduler geometry (see
+// sim.Config).
+type SchedConfig = sim.Config
+
 // Common durations.
 const (
 	Nanosecond  = sim.Nanosecond
@@ -234,6 +238,12 @@ var (
 	DefaultFootprinter    = sticky.DefaultFootprinterConfig
 )
 
+// TCMBuilderVariant names the correlation-daemon implementation this
+// binary was built with: "incremental" (the default online builder) or
+// "full" (the legacy rebuild selected by -tags tcmfull). CLI perf reports
+// embed it so artifacts are self-describing.
+var TCMBuilderVariant = tcm.BuilderVariant
+
 // Distance metrics (paper equations 1 and 2) and accuracy.
 var (
 	DistanceEUC = tcm.DistanceEUC
@@ -262,6 +272,12 @@ type Config struct {
 	// Costs overrides the CPU cost model field by field (zero fields keep
 	// their calibrated defaults).
 	Costs gos.CostModel
+	// Sched tunes the simulation engine's calendar-scheduler geometry
+	// (bucket width and ring size; the zero value keeps the defaults,
+	// 4096 ns × 256 buckets). Geometry never changes results — only the
+	// scheduler's host-side cost — which the sim package's pop-order
+	// property tests guarantee.
+	Sched SchedConfig
 	// Scenario, when non-nil, perturbs the run with the fault-injection
 	// scenario engine (heterogeneous CPUs, link ramps, jitter, transient
 	// slowdowns, workload phase shifts). Same-seed runs stay deterministic.
@@ -294,6 +310,7 @@ func (cfg Config) kernelConfig() gos.Config {
 	kcfg.DistributedTCM = cfg.DistributedTCM
 	kcfg.Net = mergeNetwork(kcfg.Net, cfg.Network)
 	kcfg.Costs = mergeCosts(kcfg.Costs, cfg.Costs)
+	kcfg.Sched = cfg.Sched
 	return kcfg
 }
 
