@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test test-race test-tcmfull bench bench-seq demo-closedloop clean
+.PHONY: verify build vet test test-race test-tcmfull test-chaos bench bench-seq demo-closedloop clean
 
 verify: build vet test
 
@@ -21,6 +21,17 @@ test:
 # it also re-executes the golden-trace determinism tests.
 test-race:
 	go test -race ./...
+
+# test-chaos is the failure-injection gauntlet: the golden determinism
+# suite under the crash/flaky/partition presets with and without the
+# recovery layer (same-seed runs must stay byte-identical under failure
+# injection), the injection-off byte-identity gate (reports unchanged when
+# no failure events are configured), and the Figure R resilience assertion
+# (recovery must strictly beat no-recovery and one-shot placement on every
+# crash schedule) — all with the race detector on the test half.
+test-chaos:
+	go test -race -count=1 -run 'Chaos|InjectionDisabled|GoldenTrace|FigR|Failure|Flush|Lease|Heartbeat|Fuzz|Crash|Intercept|Shaper' . ./internal/gos/ ./internal/experiments/ ./internal/scenario/ ./internal/network/
+	go run ./cmd/djvmbench -figR -scale $(SCALE)
 
 # test-tcmfull reruns the suite with the legacy full-rebuild TCM builder
 # selected (the incremental builder's oracle); the equivalence property

@@ -86,6 +86,7 @@ func benchCases(sc experiments.Scale, p *runner.Pool) []struct {
 		{"Fig1", func() { experiments.Fig1(sc, p) }},
 		{"FigS", func() { experiments.FigS(sc, p) }},
 		{"FigCL", func() { experiments.FigCL(sc, p) }},
+		{"FigR", func() { experiments.FigR(sc, p) }},
 		// EpochSnapshot is the closed-loop epoch-rate probe: one KVMix/phased
 		// run at fixed 2 ms epochs, every boundary paying the snapshot path
 		// the incremental TCM maintenance feeds.
@@ -142,6 +143,7 @@ func main() {
 		fig       = flag.Int("fig", 0, "regenerate figure N (1 or 9)")
 		figS      = flag.Bool("figS", false, "regenerate Figure S (scenario sensitivity sweep)")
 		figCL     = flag.Bool("figCL", false, "regenerate Figure CL (closed-loop adaptation sweep)")
+		figR      = flag.Bool("figR", false, "regenerate Figure R (failure resilience sweep); exits non-zero if recovery does not win")
 		all       = flag.Bool("all", false, "regenerate everything")
 		scale     = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -163,7 +165,7 @@ func main() {
 		fmt.Println("wrote", *benchjson)
 		return
 	}
-	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL {
+	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL && !*figR {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -212,5 +214,19 @@ func main() {
 	}
 	if *all || *figCL {
 		run("Figure CL", func() { emit(experiments.FigCL(sc, pool).Table()) })
+	}
+	if *all || *figR {
+		run("Figure R", func() {
+			res := experiments.FigR(sc, pool)
+			emit(res.Table())
+			// Figure R doubles as an assertion: recovery must strictly beat
+			// no-recovery and one-shot placement on every crash schedule.
+			if vs := res.Violations(); len(vs) > 0 {
+				for _, v := range vs {
+					fmt.Fprintln(os.Stderr, "djvmbench: figR violation:", v)
+				}
+				os.Exit(1)
+			}
+		})
 	}
 }

@@ -10,10 +10,16 @@
 //	djvmrun -app kv -adaptive -scenario phased
 //	djvmrun -app lu -scenario hetero,noisy,jitter -scenario-seed 7
 //	djvmrun -app kv -scenario phased -policy rebalance -epochs 8
+//	djvmrun -app kv -scenario crash -recover -policy rebalance
 //
 // The -scenario flag injects fault-injection perturbation schedules
-// (comma-separated presets: hetero, ramp, jitter, noisy, phased, storm)
-// composed by the scenario engine; runs stay deterministic per seed.
+// (comma-separated presets: hetero, ramp, jitter, noisy, phased, storm,
+// crash, flaky, partition) composed by the scenario engine; runs stay
+// deterministic per seed. The failure presets lose things — nodes, profile
+// flushes, connectivity — and -recover arms the runtime's failure-tolerance
+// layer (heartbeat/lease node-death detection with thread evacuation,
+// reliable profile flushes, TCM decay) to survive them; the run report then
+// includes the failure counters and final cluster health.
 //
 // The -policy flag turns the run into a closed-loop session: a pilot run
 // measures the baseline execution time, the run is split into -epochs
@@ -56,6 +62,7 @@ type runConfig struct {
 	showTCM   bool
 	plan      bool
 	scenSpec  string
+	recover   bool
 	policyTag string
 	epochs    int
 	epoch     jessica2.Time
@@ -113,7 +120,8 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		footprint = fs.Bool("footprint", false, "enable sticky-set footprinting")
 		showTCM   = fs.Bool("tcm", true, "print the thread correlation map")
 		plan      = fs.Bool("plan", false, "print a correlation-driven placement plan")
-		scenSpec  = fs.String("scenario", "none", "fault-injection scenario presets, comma-separated: hetero | ramp | jitter | noisy | phased | storm")
+		scenSpec  = fs.String("scenario", "none", "fault-injection scenario presets, comma-separated: hetero | ramp | jitter | noisy | phased | storm | crash | flaky | partition")
+		recov     = fs.Bool("recover", false, "arm the failure-tolerance layer (heartbeat/lease detection, thread evacuation, reliable profile flushes)")
 		scenSeed  = fs.Uint64("scenario-seed", 0, "scenario seed (0 = workload seed)")
 		policy    = fs.String("policy", "none", "closed-loop policy: none | nop | rebalance")
 		epochs    = fs.Int("epochs", 8, "closed-loop epoch count (epoch length = baseline exec / epochs)")
@@ -128,7 +136,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 	rc := &runConfig{
 		app: *app, nodes: *nodes, threads: *threads, seed: *seed,
 		adaptive: *adaptive, stackProf: *stackProf, footprint: *footprint,
-		showTCM: *showTCM, plan: *plan, scenSpec: *scenSpec,
+		showTCM: *showTCM, plan: *plan, scenSpec: *scenSpec, recover: *recov,
 		policyTag: strings.ToLower(*policy),
 		epochs:    *epochs, epoch: jessica2.Time(epoch.Nanoseconds()),
 		seeds: *seeds, parallel: *parallel, benchjson: *benchjson,
@@ -196,6 +204,9 @@ func (rc *runConfig) buildSession(scen *jessica2.Scenario, policy jessica2.Polic
 		cfg.Tracking = jessica2.TrackingOff
 	}
 	cfg.Scenario = scen
+	if rc.recover {
+		cfg.Failure = jessica2.DefaultFailureConfig()
+	}
 	sess := jessica2.NewSession(cfg)
 	w, err := newWorkload(rc.app)
 	if err != nil {
@@ -366,6 +377,17 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) (jessica2.Time, error) 
 	fmt.Fprintf(out, "%s on %d nodes, %d threads (scenario: %s)\n\n%s\n",
 		w.Name(), rc.nodes, rc.threads, scenName, rep)
 
+	if rc.recover {
+		fs := sess.Kernel().FailureStats()
+		fmt.Fprintf(out, "failure layer: %d lease expiries, %d recoveries, %d evacuations\n",
+			fs.LeaseExpiries, fs.NodeRecoveries, fs.Evacuations)
+		fmt.Fprintf(out, "  flushes: %d sent, %d retried, %d acked, %d abandoned, %d duplicates dropped\n",
+			fs.FlushesSent, fs.FlushRetries, fs.FlushesAcked, fs.FlushesAbandoned, fs.DuplicateFlushes)
+		if h := sess.Kernel().HealthInto(nil); h != nil {
+			fmt.Fprintf(out, "  final health: %d/%d nodes alive\n", h.LiveNodes, rc.nodes)
+		}
+		fmt.Fprintln(out)
+	}
 	if policy != nil {
 		var applied []jessica2.AppliedAction
 		for _, a := range sess.Actions() {

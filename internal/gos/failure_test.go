@@ -1,0 +1,225 @@
+package gos
+
+import (
+	"testing"
+
+	"jessica2/internal/heap"
+	"jessica2/internal/network"
+	"jessica2/internal/sim"
+)
+
+// fastFailureConfig returns aggressive timings so tests converge in a few
+// virtual milliseconds.
+func fastFailureConfig() *FailureConfig {
+	return &FailureConfig{
+		HeartbeatInterval: 1 * sim.Millisecond,
+		LeaseTimeout:      3 * sim.Millisecond,
+		SweepInterval:     1 * sim.Millisecond,
+		FlushTimeout:      2 * sim.Millisecond,
+		FlushBackoff:      1 * sim.Millisecond,
+		MaxFlushBackoff:   8 * sim.Millisecond,
+		MaxFlushRetries:   4,
+	}
+}
+
+// failureKernel builds a kernel with the failure layer enabled.
+func failureKernel(nodes int, mode TrackingMode, fc *FailureConfig) *Kernel {
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Tracking = mode
+	cfg.Failure = fc
+	return NewKernel(cfg)
+}
+
+// spinBody runs iters × (compute slice + one local read): a thread with
+// a safe point at every iteration.
+func spinBody(iters int, slice sim.Time, cls *heap.Class) func(*Thread) {
+	return func(th *Thread) {
+		o := th.Alloc(cls)
+		for i := 0; i < iters; i++ {
+			th.Compute(slice)
+			th.Read(o)
+		}
+	}
+}
+
+func TestLeaseExpiryEvacuatesThreads(t *testing.T) {
+	k := failureKernel(3, TrackingOff, fastFailureConfig())
+	cls := k.Reg.DefineClass("X", 64, 0)
+	victim := k.SpawnThread(1, "victim", spinBody(100, 200*sim.Microsecond, cls))
+	k.SpawnThread(2, "bystander", spinBody(100, 200*sim.Microsecond, cls))
+	// Crash node 1: CPU crawls below the heartbeat suspension threshold.
+	cpu := k.Node(1).CPU()
+	k.Eng.Schedule(5*sim.Millisecond, func() { cpu.SetSpeed(0.05) })
+	k.Run()
+
+	fs := k.FailureStats()
+	if fs.LeaseExpiries == 0 {
+		t.Fatal("no lease expiry despite silenced node")
+	}
+	if fs.HeartbeatsSkipped == 0 {
+		t.Error("crawling node kept emitting heartbeats")
+	}
+	if fs.Evacuations != 1 {
+		t.Fatalf("evacuations = %d, want 1", fs.Evacuations)
+	}
+	if got := victim.Node().ID(); got == 1 {
+		t.Fatalf("victim still on dead node %d", got)
+	}
+	if !victim.Finished() {
+		t.Fatal("victim never finished")
+	}
+	h := k.HealthInto(nil)
+	if h == nil {
+		t.Fatal("HealthInto returned nil with failure layer on")
+	}
+	if h.LiveNodes != 2 {
+		t.Errorf("live nodes = %d, want 2", h.LiveNodes)
+	}
+	if h.Nodes[1].Alive {
+		t.Error("node 1 reported alive after permanent crash")
+	}
+}
+
+func TestHeartbeatResumptionRevivesNode(t *testing.T) {
+	k := failureKernel(3, TrackingOff, fastFailureConfig())
+	cls := k.Reg.DefineClass("X", 64, 0)
+	k.SpawnThread(1, "victim", spinBody(200, 200*sim.Microsecond, cls))
+	k.SpawnThread(2, "bystander", spinBody(200, 200*sim.Microsecond, cls))
+	cpu := k.Node(1).CPU()
+	k.Eng.Schedule(5*sim.Millisecond, func() { cpu.SetSpeed(0.05) })
+	k.Eng.Schedule(15*sim.Millisecond, func() { cpu.SetSpeed(1) })
+	k.Run()
+
+	fs := k.FailureStats()
+	if fs.LeaseExpiries == 0 {
+		t.Fatal("no lease expiry during the outage")
+	}
+	if fs.NodeRecoveries == 0 {
+		t.Fatal("restarted node never revived")
+	}
+	if h := k.HealthInto(nil); h.LiveNodes != 3 {
+		t.Errorf("live nodes = %d after recovery, want 3", h.LiveNodes)
+	}
+}
+
+// dropFirstN drops the first N messages whose primary category is CatOAL.
+type dropFirstN struct{ n int }
+
+func (d *dropFirstN) Intercept(_ sim.Time, _, _ network.NodeID, primary network.Category, _ int) network.Verdict {
+	if primary == network.CatOAL && d.n > 0 {
+		d.n--
+		return network.Verdict{Drop: true}
+	}
+	return network.Verdict{}
+}
+
+// dupAll duplicates every dedicated OAL flush.
+type dupAll struct{}
+
+func (dupAll) Intercept(_ sim.Time, _, _ network.NodeID, primary network.Category, _ int) network.Verdict {
+	return network.Verdict{Duplicate: primary == network.CatOAL}
+}
+
+// dropAllOAL loses every dedicated OAL flush.
+type dropAllOAL struct{}
+
+func (dropAllOAL) Intercept(_ sim.Time, _, _ network.NodeID, primary network.Category, _ int) network.Verdict {
+	return network.Verdict{Drop: primary == network.CatOAL}
+}
+
+// flushKernel builds a 2-node kernel where every interval close emits a
+// dedicated one-entry OAL flush from node 1.
+func flushKernel(t *testing.T, fc *FailureConfig, icept network.Interceptor, rounds int) *Kernel {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.Tracking = TrackingExact
+	cfg.OALFlushEntries = 1
+	cfg.Failure = fc
+	k := NewKernel(cfg)
+	k.Net.SetInterceptor(icept)
+	cls := k.Reg.DefineClass("X", 64, 0)
+	k.SpawnThread(1, "worker", func(th *Thread) {
+		o := th.Alloc(cls)
+		for i := 0; i < rounds; i++ {
+			th.Acquire(0)
+			th.Read(o)
+			th.Release(0) // closes the interval → dedicated flush
+		}
+	})
+	return k
+}
+
+func TestFlushRetryRecoversDroppedFlushes(t *testing.T) {
+	k := flushKernel(t, fastFailureConfig(), &dropFirstN{n: 2}, 10)
+	k.Run()
+	fs := k.FailureStats()
+	if fs.FlushesSent != 10 {
+		t.Fatalf("flushes sent = %d, want 10", fs.FlushesSent)
+	}
+	if fs.FlushRetries < 2 {
+		t.Fatalf("flush retries = %d, want >= 2 (two drops)", fs.FlushRetries)
+	}
+	if fs.FlushesAcked != 10 {
+		t.Fatalf("flushes acked = %d, want 10", fs.FlushesAcked)
+	}
+	if fs.FlushesAbandoned != 0 {
+		t.Fatalf("flushes abandoned = %d, want 0", fs.FlushesAbandoned)
+	}
+	if got, want := k.Master().IngestedEntries(), k.Stats().OALEntries; got != want {
+		t.Fatalf("ingested %d entries, node buffered %d — retry lost or double-counted data", got, want)
+	}
+	if h := k.HealthInto(nil); h.Nodes[1].LastAckAt == 0 {
+		t.Error("LastAckAt never advanced on the flushing node")
+	}
+}
+
+func TestFlushDedupDiscardsDuplicates(t *testing.T) {
+	k := flushKernel(t, fastFailureConfig(), dupAll{}, 10)
+	k.Run()
+	fs := k.FailureStats()
+	if fs.DuplicateFlushes == 0 {
+		t.Fatal("duplicated deliveries were never deduplicated")
+	}
+	if fs.FlushesAcked != fs.FlushesSent {
+		t.Fatalf("acked %d of %d flushes", fs.FlushesAcked, fs.FlushesSent)
+	}
+	if got, want := k.Master().IngestedEntries(), k.Stats().OALEntries; got != want {
+		t.Fatalf("ingested %d entries, node buffered %d — a duplicate was double-ingested", got, want)
+	}
+}
+
+// TestFlushAbandonmentIsBounded: with every dedicated flush lost, the
+// retry machinery gives up after MaxFlushRetries instead of spinning
+// forever — profiling is advisory, liveness wins.
+func TestFlushAbandonmentIsBounded(t *testing.T) {
+	k := flushKernel(t, fastFailureConfig(), dropAllOAL{}, 5)
+	k.Run()
+	fs := k.FailureStats()
+	if fs.FlushesAbandoned != fs.FlushesSent {
+		t.Fatalf("abandoned %d of %d flushes, want all", fs.FlushesAbandoned, fs.FlushesSent)
+	}
+	if fs.FlushRetries != fs.FlushesSent*int64(k.fcfg.MaxFlushRetries) {
+		t.Fatalf("retries = %d, want %d (bounded)", fs.FlushRetries, fs.FlushesSent*int64(k.fcfg.MaxFlushRetries))
+	}
+	if got := k.Master().IngestedEntries(); got != 0 {
+		t.Fatalf("ingested %d entries with all flushes lost", got)
+	}
+}
+
+// TestFailureLayerOffIsInert: without Config.Failure the kernel sends no
+// heartbeats, numbers no flushes, and reports no health.
+func TestFailureLayerOffIsInert(t *testing.T) {
+	k := flushKernel(t, nil, nil, 5)
+	k.Run()
+	if fs := k.FailureStats(); fs != (FailureStats{}) {
+		t.Fatalf("failure counters moved with the layer off: %+v", fs)
+	}
+	if h := k.HealthInto(nil); h != nil {
+		t.Fatalf("HealthInto = %+v with the layer off, want nil", h)
+	}
+	if got, want := k.Master().IngestedEntries(), k.Stats().OALEntries; got != want {
+		t.Fatalf("ingested %d entries, want %d", got, want)
+	}
+}

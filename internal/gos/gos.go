@@ -129,6 +129,12 @@ type Config struct {
 	// CPUSliceFlush is the microbatching threshold for charging accrued
 	// fast-path CPU time to the node CPU resource.
 	CPUSliceFlush sim.Time
+	// Failure, when non-nil, enables the failure-tolerance layer (see
+	// failure.go): heartbeat/lease failure detection, safe-point
+	// evacuation of dead nodes' threads, and sequence-numbered ack/retry
+	// OAL flushes. Nil keeps the kernel byte-identical to a build without
+	// the layer.
+	Failure *FailureConfig
 }
 
 // DefaultConfig returns an 8-node cluster mirroring the paper's testbed.
@@ -184,6 +190,13 @@ type Kernel struct {
 	recPool []*oal.Record
 
 	stats KernelStats
+
+	// Failure-tolerance layer (failure.go); fd is nil until the first
+	// SpawnThread with Cfg.Failure set, fcfg is Cfg.Failure resolved with
+	// defaults.
+	fd     *failureDetector
+	fcfg   FailureConfig
+	fstats FailureStats
 }
 
 // newRecord returns a zeroed OAL record, reusing a recycled one if possible.
@@ -245,6 +258,9 @@ func NewKernel(cfg Config) *Kernel {
 		Cfg:      cfg,
 		locks:    make(map[int]*lockState),
 		barriers: make(map[int]*barrierState),
+	}
+	if cfg.Failure != nil {
+		k.fcfg = cfg.Failure.withDefaults()
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := newNode(k, i)

@@ -190,6 +190,15 @@ func (m *Master) VisitNewlyShared(consume bool, visit func(key int64, bytes floa
 	m.ensureBuilder().VisitNewlyShared(consume, visit)
 }
 
+// DecayThreads scales the given threads' accumulated correlations by
+// factor — the failure detector's graceful-degradation hook when their
+// node's lease expires. A documented no-op under `-tags tcmfull` (the
+// legacy builder rebuilds from raw history, which cannot be retroactively
+// discounted).
+func (m *Master) DecayThreads(threads []int, factor float64) {
+	m.ensureBuilder().DecayThreads(threads, factor)
+}
+
 // ResetWindow clears ingested state for a fresh profiling window.
 func (m *Master) ResetWindow() {
 	if m.builder != nil {

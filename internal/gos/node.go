@@ -60,6 +60,12 @@ type Node struct {
 	pending map[int64]*Thread
 	nextTok int64
 
+	// Reliable OAL flush state (failure.go); all zero when the failure
+	// layer is off. inflight maps sequence numbers to unacked payloads.
+	flushSeq  int64
+	inflight  map[int64]*oalPayload
+	lastAckAt sim.Time
+
 	// Stats
 	localHits int64
 }
@@ -159,6 +165,8 @@ const (
 	msgBarrierArrive
 	msgBarrierRelease
 	msgMigrateIn
+	msgHeartbeat
+	msgOALAck
 )
 
 type protoMsg struct {
@@ -194,7 +202,7 @@ func (n *Node) handleMessage(m *network.Message) {
 		// models the diff traffic and the home-side application cost.
 		n.k.Eng.After(n.k.Cfg.Costs.HomeServiceCost, func() {})
 	case msgOALBatch:
-		n.k.master.IngestPayload(&oalPayload{batch: pm.oal, sum: pm.sum})
+		n.receiveFlush(m.From, pm)
 	case msgLockReq:
 		n.k.lockRequest(pm.lock, m.From, pm.tok, pm.payload())
 	case msgLockGrant:
@@ -209,6 +217,12 @@ func (n *Node) handleMessage(m *network.Message) {
 		if fn, ok := pm.data.(func()); ok {
 			fn()
 		}
+	case msgHeartbeat:
+		if n.k.fd != nil {
+			n.k.fd.onBeat(int(m.From))
+		}
+	case msgOALAck:
+		n.onFlushAck(pm.tok)
 	}
 }
 
@@ -326,6 +340,10 @@ func (n *Node) flushOAL(t *Thread) {
 	if n.id == 0 {
 		// Local delivery to the master collector.
 		n.k.master.IngestPayload(p)
+		return
+	}
+	if n.k.FailureEnabled() {
+		n.sendFlush(p)
 		return
 	}
 	n.k.Net.Send(network.NodeID(n.id), 0, network.CatOAL, p.wire,

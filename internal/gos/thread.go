@@ -88,6 +88,7 @@ func (k *Kernel) SpawnThread(node int, name string, body func(*Thread)) *Thread 
 	if node < 0 || node >= len(k.nodes) {
 		panic(fmt.Sprintf("gos: bad node %d", node))
 	}
+	k.startFailureDetector() // idempotent; no-op when Cfg.Failure is nil
 	t := &Thread{
 		k:        k,
 		id:       len(k.threads),

@@ -1,0 +1,162 @@
+package network
+
+import (
+	"testing"
+
+	"jessica2/internal/sim"
+)
+
+// fixedShaper returns a constant delay regardless of message or time.
+type fixedShaper struct{ d sim.Time }
+
+func (s fixedShaper) TransferTime(sim.Time, NodeID, NodeID, int, Config) sim.Time { return s.d }
+
+// TestShaperDelayClamping: pathological shaper outputs must never produce
+// negative delivery delays — the message arrives at or after its send time,
+// and the run keeps terminating.
+func TestShaperDelayClamping(t *testing.T) {
+	cases := []struct {
+		name   string
+		shaper Shaper
+		// wantMin/wantMax bound the accepted delivery delay.
+		wantMin, wantMax sim.Time
+	}{
+		{"negative-latency-from-jitter", fixedShaper{-5 * sim.Millisecond}, 0, 0},
+		{"zero-delay", fixedShaper{0}, 0, 0},
+		{"normal", fixedShaper{3 * sim.Microsecond}, 3 * sim.Microsecond, 3 * sim.Microsecond},
+		{"huge-but-finite", fixedShaper{sim.Second}, sim.Second, sim.Second},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			n := New(eng, DefaultConfig())
+			n.SetShaper(tc.shaper)
+			var deliveredAt sim.Time
+			delivered := false
+			n.Bind(1, func(m *Message) { deliveredAt, delivered = eng.Now(), true })
+			n.Send(0, 1, CatGOSData, 100, nil)
+			eng.Run()
+			if !delivered {
+				t.Fatal("message never delivered")
+			}
+			if deliveredAt < tc.wantMin || deliveredAt > tc.wantMax {
+				t.Fatalf("delivered at %v, want within [%v, %v]", deliveredAt, tc.wantMin, tc.wantMax)
+			}
+		})
+	}
+}
+
+// scriptIcept replays a fixed verdict sequence in call order.
+type scriptIcept struct {
+	verdicts []Verdict
+	calls    int
+	primary  []Category
+}
+
+func (s *scriptIcept) Intercept(_ sim.Time, _, _ NodeID, primary Category, _ int) Verdict {
+	s.primary = append(s.primary, primary)
+	v := Verdict{}
+	if s.calls < len(s.verdicts) {
+		v = s.verdicts[s.calls]
+	}
+	s.calls++
+	return v
+}
+
+// TestInterceptorVerdicts: drop loses the message (but keeps the wire
+// accounting), duplicate delivers twice with the original first, and delay
+// pushes delivery out; negative delay is ignored.
+func TestInterceptorVerdicts(t *testing.T) {
+	cases := []struct {
+		name         string
+		verdict      Verdict
+		deliveries   int
+		wantDrop     int64
+		wantDup      int64
+		minDelay     sim.Time
+		extraAtLeast sim.Time
+	}{
+		{"pass", Verdict{}, 1, 0, 0, 0, 0},
+		{"drop", Verdict{Drop: true}, 0, 1, 0, 0, 0},
+		{"duplicate", Verdict{Duplicate: true}, 2, 0, 1, 0, 0},
+		{"delay", Verdict{Delay: 2 * sim.Millisecond}, 1, 0, 0, 2 * sim.Millisecond, 2 * sim.Millisecond},
+		{"negative-delay-ignored", Verdict{Delay: -sim.Second}, 1, 0, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			n := New(eng, DefaultConfig())
+			ic := &scriptIcept{verdicts: []Verdict{tc.verdict}}
+			n.SetInterceptor(ic)
+			var times []sim.Time
+			n.Bind(1, func(m *Message) { times = append(times, eng.Now()) })
+			n.Send(0, 1, CatOAL, 256, nil)
+			base := n.TransferTime(256 + n.Config().HeaderBytes)
+			eng.Run()
+			if len(times) != tc.deliveries {
+				t.Fatalf("deliveries = %d, want %d", len(times), tc.deliveries)
+			}
+			st := n.Stats()
+			if st.Dropped != tc.wantDrop || st.Duplicated != tc.wantDup {
+				t.Fatalf("dropped/duplicated = %d/%d, want %d/%d", st.Dropped, st.Duplicated, tc.wantDrop, tc.wantDup)
+			}
+			if st.CatBytes(CatOAL) != 256 {
+				t.Fatalf("wire accounting changed: %d bytes", st.CatBytes(CatOAL))
+			}
+			for i, at := range times {
+				if at < base+tc.minDelay {
+					t.Fatalf("delivery %d at %v, want >= %v", i, at, base+tc.minDelay)
+				}
+			}
+			if tc.deliveries == 2 && times[1] <= times[0] {
+				t.Fatalf("duplicate at %v not after original at %v", times[1], times[0])
+			}
+			if ic.calls != 1 {
+				t.Fatalf("interceptor consulted %d times for one send", ic.calls)
+			}
+			if n.InFlight() != 0 {
+				t.Fatalf("in-flight = %d after drain", n.InFlight())
+			}
+		})
+	}
+}
+
+// TestInterceptorPrimaryCategoryAndLocalBypass: the interceptor sees the
+// first part's category (the protocol category of piggybacked messages) and
+// is never consulted for local sends.
+func TestInterceptorPrimaryCategoryAndLocalBypass(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	ic := &scriptIcept{}
+	n.SetInterceptor(ic)
+	n.Bind(0, func(m *Message) {})
+	n.Bind(1, func(m *Message) {})
+	n.SendParts(0, 1, []Part{{Cat: CatControl, Bytes: 24}, {Cat: CatOAL, Bytes: 512}}, nil)
+	n.Send(0, 1, CatOAL, 64, nil)
+	n.Send(1, 1, CatOAL, 64, nil) // local: must bypass
+	eng.Run()
+	if ic.calls != 2 {
+		t.Fatalf("interceptor consulted %d times, want 2 (local send bypasses)", ic.calls)
+	}
+	if ic.primary[0] != CatControl || ic.primary[1] != CatOAL {
+		t.Fatalf("primary categories = %v, want [control oal]", ic.primary)
+	}
+}
+
+// TestShaperComposesWithInterceptor: a shaper's delay and an interceptor's
+// extra delay stack.
+func TestShaperComposesWithInterceptor(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	n.SetShaper(fixedShaper{1 * sim.Millisecond})
+	n.SetInterceptor(&scriptIcept{verdicts: []Verdict{{Delay: 3 * sim.Millisecond}}})
+	var at sim.Time
+	n.Bind(1, func(m *Message) { at = eng.Now() })
+	n.Send(0, 1, CatGOSData, 10, nil)
+	eng.Run()
+	if want := 4 * sim.Millisecond; at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}

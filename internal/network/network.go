@@ -112,12 +112,48 @@ type Shaper interface {
 	TransferTime(now sim.Time, from, to NodeID, totalBytes int, cfg Config) sim.Time
 }
 
+// Verdict is an Interceptor's decision for one remote message.
+type Verdict struct {
+	// Drop loses the message: it is accounted as sent (the bytes hit the
+	// wire) but never delivered. Dropping protocol traffic a blocked proc
+	// waits on deadlocks the simulation, so interceptors should only drop
+	// traffic with an application-level retry path (e.g. dedicated OAL
+	// flushes).
+	Drop bool
+	// Duplicate delivers the message twice (the duplicate arrives one extra
+	// base latency after the original) — the at-least-once failure mode
+	// idempotent receivers must tolerate.
+	Duplicate bool
+	// Delay adds extra delivery latency on top of the link model (negative
+	// values are ignored). Deferral — e.g. holding traffic across a
+	// partition until it heals — is a large finite Delay.
+	Delay sim.Time
+}
+
+// Interceptor injects per-message failures: it sees every remote message
+// after the link model computed its delay and decides its fate. Like
+// Shaper, implementations must be deterministic functions of their
+// arguments and internal state — messages post in deterministic order, so
+// a seeded per-message stream is fine. primary is the message's first
+// part's category (the protocol category for piggybacked messages), which
+// lets an interceptor target dedicated profiling flushes without seeing
+// payloads. Local sends (from == to) bypass interception.
+type Interceptor interface {
+	Intercept(now sim.Time, from, to NodeID, primary Category, totalBytes int) Verdict
+}
+
 // Stats aggregates per-category traffic.
 type Stats struct {
 	Bytes    [numCategories]int64
 	Messages [numCategories]int64
 	// HeaderBytesTotal counts fixed header overhead across all messages.
 	HeaderBytesTotal int64
+	// Dropped and Duplicated count interceptor verdicts (always zero when
+	// no interceptor is installed). They are deliberately excluded from
+	// String(): failure-free reports must render byte-identically to
+	// builds that predate fault injection.
+	Dropped    int64
+	Duplicated int64
 }
 
 // CatBytes returns the byte count for one category.
@@ -160,6 +196,7 @@ type Network struct {
 	perNode  map[NodeID]*Stats
 	inFlight int
 	shaper   Shaper
+	icept    Interceptor
 }
 
 // New creates a network over the engine with the given physical config.
@@ -199,6 +236,11 @@ func (n *Network) InFlight() int { return n.inFlight }
 // SetShaper installs (or, with nil, removes) a time-varying link model.
 func (n *Network) SetShaper(s Shaper) { n.shaper = s }
 
+// SetInterceptor installs (or, with nil, removes) the per-message failure
+// injector. It composes with an installed Shaper: the shaper computes the
+// delay, the interceptor then decides the message's fate.
+func (n *Network) SetInterceptor(i Interceptor) { n.icept = i }
+
 // TransferTime computes latency + serialization delay for a payload size.
 func (n *Network) TransferTime(totalBytes int) sim.Time {
 	ser := sim.Time(int64(totalBytes) * int64(sim.Second) / n.cfg.BandwidthBytesPerSec)
@@ -235,11 +277,40 @@ func (n *Network) post(msg *Message) {
 	}
 	total := msg.TotalBytes(n.cfg.HeaderBytes)
 	n.account(from, parts)
-	n.inFlight++
 	delay := n.TransferTime(total)
 	if n.shaper != nil {
-		delay = n.shaper.TransferTime(n.eng.Now(), from, to, total, n.cfg)
+		// Clamp shaper pathologies: extreme jitter or degenerate bandwidth
+		// factors must not yield negative (or NaN — which fails every
+		// comparison, so the clamp catches it too) delivery delays.
+		if d := n.shaper.TransferTime(n.eng.Now(), from, to, total, n.cfg); d >= 0 {
+			delay = d
+		} else {
+			delay = 0
+		}
 	}
+	if n.icept != nil {
+		primary := CatControl
+		if len(parts) > 0 {
+			primary = parts[0].Cat
+		}
+		v := n.icept.Intercept(n.eng.Now(), from, to, primary, total)
+		if v.Drop {
+			n.stats.Dropped++
+			return // accounted on the wire, never delivered
+		}
+		if v.Delay > 0 {
+			delay += v.Delay
+		}
+		if v.Duplicate {
+			n.stats.Duplicated++
+			n.inFlight++
+			n.eng.After(delay+n.cfg.Latency, func() {
+				n.inFlight--
+				n.deliver(msg)
+			})
+		}
+	}
+	n.inFlight++
 	n.eng.After(delay, func() {
 		n.inFlight--
 		msg.DeliveredAt = n.eng.Now()

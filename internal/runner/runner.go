@@ -131,3 +131,60 @@ func Go(p *Pool, n int, fn func(i int)) {
 	}
 	Collect(p, jobs)
 }
+
+// Result is one fallible job's outcome in a TryCollect batch.
+type Result[T any] struct {
+	// Value is the last attempt's return (the zero value when Err is set).
+	Value T
+	// Err is the final attempt's error; nil means the job succeeded.
+	Err error
+	// Attempts counts executions of the job (1 = first try succeeded).
+	Attempts int
+}
+
+// TryCollect is Collect for fallible jobs: each job that returns an error
+// is retried in place — on the same worker, immediately, up to retries
+// additional attempts — and the final outcomes come back in submission
+// order. Transient failures (a flaky external check, a probabilistic
+// acceptance bar) therefore cost only their own re-execution; they neither
+// abort the batch nor perturb its ordering. Jobs must be independent like
+// Collect's; a job whose failure is deterministic simply burns its retry
+// budget and reports the last error. Panics are not converted to errors —
+// they propagate exactly as under Collect.
+func TryCollect[T any](p *Pool, retries int, jobs []func() (T, error)) []Result[T] {
+	if retries < 0 {
+		retries = 0
+	}
+	wrapped := make([]func() Result[T], len(jobs))
+	for i := range jobs {
+		job := jobs[i]
+		wrapped[i] = func() Result[T] {
+			var res Result[T]
+			for attempt := 0; ; attempt++ {
+				res.Value, res.Err = job()
+				res.Attempts = attempt + 1
+				if res.Err == nil {
+					return res
+				}
+				var zero T
+				res.Value = zero
+				if attempt == retries {
+					return res
+				}
+			}
+		}
+	}
+	return Collect(p, wrapped)
+}
+
+// FirstErr scans a TryCollect batch and returns the first failed job's
+// index and error (by submission order, deterministically), or (-1, nil)
+// when every job succeeded.
+func FirstErr[T any](results []Result[T]) (int, error) {
+	for i := range results {
+		if results[i].Err != nil {
+			return i, results[i].Err
+		}
+	}
+	return -1, nil
+}

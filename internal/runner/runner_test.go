@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -126,5 +127,88 @@ func TestWorkersDefaults(t *testing.T) {
 	}
 	if (*Pool)(nil).Workers() != 1 {
 		t.Fatal("nil pool must be one worker")
+	}
+}
+
+// TestTryCollectTransientFailureRecovers: a job failing on its first
+// attempt must succeed on retry without perturbing submission order —
+// the regression shape for flaky experiment cells.
+func TestTryCollectTransientFailureRecovers(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		const n = 50
+		attempts := make([]atomic.Int64, n)
+		jobs := make([]func() (int, error), n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (int, error) {
+				// Every third job fails its first two attempts.
+				if a := attempts[i].Add(1); i%3 == 0 && a <= 2 {
+					return -1, errors.New("transient")
+				}
+				// Reverse-staggered completion, as in the Collect order test.
+				time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+				return i * i, nil
+			}
+		}
+		out := TryCollect(p, 2, jobs)
+		if idx, err := FirstErr(out); err != nil {
+			t.Fatalf("workers=%d: job %d failed despite retry budget: %v", workers, idx, err)
+		}
+		for i, r := range out {
+			if r.Value != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, r.Value, i*i)
+			}
+			wantAttempts := 1
+			if i%3 == 0 {
+				wantAttempts = 3
+			}
+			if r.Attempts != wantAttempts {
+				t.Fatalf("workers=%d: job %d took %d attempts, want %d", workers, i, r.Attempts, wantAttempts)
+			}
+		}
+	}
+}
+
+// TestTryCollectBoundedRetries: a deterministically failing job reports its
+// last error after exactly 1+retries attempts, zeroes its value, and does
+// not poison its neighbors.
+func TestTryCollectBoundedRetries(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("permanent")
+	jobs := []func() (string, error){
+		func() (string, error) { return "ok-0", nil },
+		func() (string, error) { ran.Add(1); return "partial", boom },
+		func() (string, error) { return "ok-2", nil },
+	}
+	out := TryCollect(New(2), 3, jobs)
+	if out[0].Err != nil || out[0].Value != "ok-0" || out[2].Err != nil || out[2].Value != "ok-2" {
+		t.Fatalf("healthy neighbors perturbed: %+v", out)
+	}
+	if out[1].Err != boom {
+		t.Fatalf("err = %v, want %v", out[1].Err, boom)
+	}
+	if out[1].Value != "" {
+		t.Fatalf("failed job's value = %q, want zeroed", out[1].Value)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("failing job ran %d times, want 4 (1 + 3 retries)", got)
+	}
+	if out[1].Attempts != 4 {
+		t.Fatalf("Attempts = %d, want 4", out[1].Attempts)
+	}
+	if idx, err := FirstErr(out); idx != 1 || err != boom {
+		t.Fatalf("FirstErr = (%d, %v), want (1, %v)", idx, err, boom)
+	}
+}
+
+// TestTryCollectNegativeRetries clamps to plain single attempts.
+func TestTryCollectNegativeRetries(t *testing.T) {
+	var ran atomic.Int64
+	out := TryCollect(nil, -5, []func() (int, error){
+		func() (int, error) { ran.Add(1); return 0, errors.New("nope") },
+	})
+	if ran.Load() != 1 || out[0].Attempts != 1 {
+		t.Fatalf("negative retries: ran %d, attempts %d, want 1/1", ran.Load(), out[0].Attempts)
 	}
 }

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"jessica2/internal/sim"
+)
+
+// decodeCrashes turns fuzz bytes into a crash schedule: each 10-byte chunk
+// is (node, at, restart, factor), with at/restart read as signed 32-bit
+// values so the fuzzer can reach negative times and restart-before-crash
+// orderings.
+func decodeCrashes(data []byte) []Crash {
+	var out []Crash
+	for len(data) >= 10 {
+		chunk := data[:10]
+		data = data[10:]
+		at := int32(binary.LittleEndian.Uint32(chunk[1:5]))
+		restart := int32(binary.LittleEndian.Uint32(chunk[5:9]))
+		out = append(out, Crash{
+			Node:    int(chunk[0] % 8),
+			At:      sim.Time(at) * sim.Microsecond,
+			Restart: sim.Time(restart) * sim.Microsecond,
+			Factor:  (float64(int8(chunk[9]))) / 32, // reaches < 0 and > 1
+		})
+	}
+	return out
+}
+
+// chunk builds one 10-byte fuzz chunk.
+func chunk(node byte, at, restart int32, factor int8) []byte {
+	b := make([]byte, 10)
+	b[0] = node
+	binary.LittleEndian.PutUint32(b[1:5], uint32(at))
+	binary.LittleEndian.PutUint32(b[5:9], uint32(restart))
+	b[9] = byte(factor)
+	return b
+}
+
+// FuzzNormalizeCrashes asserts the crash-schedule canonicalizer never
+// panics and always yields a deterministic, idempotent, sorted,
+// per-node-non-overlapping schedule of valid windows — the properties
+// Apply and the failure interceptor rely on.
+func FuzzNormalizeCrashes(f *testing.F) {
+	// Seed corpus: the interesting degeneracies by hand.
+	f.Add(bytes.Join([][]byte{ // overlapping windows on one node
+		chunk(1, 100, 500, 2),
+		chunk(1, 300, 800, 64),
+		chunk(1, 800, 900, 16),
+	}, nil))
+	f.Add(chunk(2, 0, 0, 0))                                                     // crash at t0, never restarts
+	f.Add(chunk(3, 700, 200, 32))                                                // restart before crash
+	f.Add(bytes.Join([][]byte{chunk(1, -50, 10, -4), chunk(0, 5, 0, 127)}, nil)) // negative time, wild factors
+	f.Add([]byte{})                                                              // empty schedule
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := decodeCrashes(data)
+		inCopy := append([]Crash(nil), in...)
+
+		got := NormalizeCrashes(in)
+		again := NormalizeCrashes(inCopy)
+		if !reflect.DeepEqual(got, again) {
+			t.Fatalf("non-deterministic: %v vs %v", got, again)
+		}
+		idem := NormalizeCrashes(append([]Crash(nil), got...))
+		if !reflect.DeepEqual(got, idem) {
+			t.Fatalf("not idempotent: %v -> %v", got, idem)
+		}
+		for i, c := range got {
+			if c.At < 0 {
+				t.Fatalf("entry %d: negative At %v", i, c.At)
+			}
+			if c.Restart != 0 && c.Restart <= c.At {
+				t.Fatalf("entry %d: restart %v not after crash %v", i, c.Restart, c.At)
+			}
+			if c.Factor < 0 || c.Factor > 1 {
+				t.Fatalf("entry %d: factor %g outside [0, 1]", i, c.Factor)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := got[i-1]
+			if prev.Node > c.Node || (prev.Node == c.Node && prev.At > c.At) {
+				t.Fatalf("unsorted at %d: %v after %v", i, c, prev)
+			}
+			if prev.Node == c.Node {
+				if prev.Restart == 0 || c.At <= prev.Restart {
+					t.Fatalf("overlap on node %d: %v then %v", c.Node, prev, c)
+				}
+			}
+		}
+	})
+}

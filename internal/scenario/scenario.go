@@ -13,13 +13,16 @@
 //   - transient slowdowns ("noisy neighbor"): a node drops to a fraction
 //     of its speed for a bounded episode, then recovers;
 //   - phase shifts: scheduled advances of the workload.Phase register that
-//     phase-aware workloads consult at round boundaries.
+//     phase-aware workloads consult at round boundaries;
+//   - failure events (see failure.go): node crash/restart schedules,
+//     transient partitions, and seeded per-message loss/duplication of
+//     dedicated profile flushes, via the network.Interceptor hook.
 //
 // Everything is a pure function of the scenario spec and its seed: messages
 // post in deterministic order, events fire in deterministic order, and the
-// jitter stream is a seeded SplitMix64 sequence — so a perturbed run is
-// exactly as reproducible as an unperturbed one (the golden-trace tests
-// assert byte-identical reports across repeats).
+// jitter and flush-loss streams are seeded SplitMix64 sequences — so a
+// perturbed run is exactly as reproducible as an unperturbed one (the
+// golden-trace tests assert byte-identical reports across repeats).
 package scenario
 
 import (
@@ -115,6 +118,13 @@ type Scenario struct {
 	Jitter      *Jitter
 	Slowdowns   []Slowdown
 	PhaseShifts []PhaseShift
+
+	// Failure events (failure.go). Unlike the perturbations above these make
+	// the runtime lose things; the gos failure detector (gos.FailureConfig)
+	// is what lets a session survive them.
+	Crashes    []Crash
+	Partitions []Partition
+	FlushLoss  *FlushLoss
 }
 
 // Kinds lists the perturbation kinds the scenario carries, sorted.
@@ -134,6 +144,15 @@ func (sc *Scenario) Kinds() []string {
 	}
 	if len(sc.PhaseShifts) > 0 {
 		out = append(out, "phase-shift")
+	}
+	if len(sc.Crashes) > 0 {
+		out = append(out, "crash")
+	}
+	if len(sc.Partitions) > 0 {
+		out = append(out, "partition")
+	}
+	if sc.FlushLoss != nil {
+		out = append(out, "flush-loss")
 	}
 	sort.Strings(out)
 	uniq := out[:0]
@@ -194,7 +213,7 @@ func (sc *Scenario) Validate(nodes int) error {
 			return fmt.Errorf("scenario: phase shift at negative time %v", p.At)
 		}
 	}
-	return nil
+	return sc.validateFailures(nodes)
 }
 
 // baseFactor is a node's heterogeneous base speed.
@@ -241,6 +260,7 @@ func (sc *Scenario) Apply(k *gos.Kernel, ph *workload.Phase) {
 			k.Eng.Schedule(p.At, func() { ph.Set(p.Phase) })
 		}
 	}
+	sc.applyFailures(k)
 }
 
 // shaper implements network.Shaper from the scenario's ramps and jitter.
@@ -264,6 +284,16 @@ func (s *shaper) TransferTime(now sim.Time, from, to network.NodeID, totalBytes 
 		case RampBandwidth:
 			bwF *= r.factorAt(now)
 		}
+	}
+	// Clamp degenerate products: stacked ramps can underflow the bandwidth
+	// factor toward zero (infinite serialization time) and a pathological
+	// latency factor could go negative. The network layer additionally
+	// clamps the final delay to >= 0.
+	if bwF < 1e-9 {
+		bwF = 1e-9
+	}
+	if latF < 0 {
+		latF = 0
 	}
 	lat := sim.Time(float64(cfg.Latency)*latF + 0.5)
 	ser := sim.Time(float64(totalBytes) * float64(sim.Second) / (float64(cfg.BandwidthBytesPerSec) * bwF))
@@ -301,12 +331,18 @@ func Merge(name string, seed uint64, parts ...*Scenario) *Scenario {
 		}
 		out.Slowdowns = append(out.Slowdowns, p.Slowdowns...)
 		out.PhaseShifts = append(out.PhaseShifts, p.PhaseShifts...)
+		out.Crashes = append(out.Crashes, p.Crashes...)
+		out.Partitions = append(out.Partitions, p.Partitions...)
+		if out.FlushLoss == nil && p.FlushLoss != nil {
+			l := *p.FlushLoss
+			out.FlushLoss = &l
+		}
 	}
 	return out
 }
 
 // PresetNames lists the built-in scenario vocabulary.
-var PresetNames = []string{"hetero", "ramp", "jitter", "noisy", "phased", "storm"}
+var PresetNames = []string{"hetero", "ramp", "jitter", "noisy", "phased", "storm", "crash", "flaky", "partition"}
 
 // Preset builds one of the named scenarios for a cluster of the given size.
 // Presets are seed-driven where randomness is involved (heterogeneous
@@ -364,6 +400,38 @@ func Preset(name string, nodes int, seed uint64) (*Scenario, error) {
 			parts = append(parts, p)
 		}
 		return Merge("storm", seed, parts...), nil
+	case "crash":
+		// Worker crashes: node 1 goes down for half a second and comes back;
+		// on clusters of three or more, node 2 later dies for good. Clusters
+		// without workers have nothing to crash.
+		sc := &Scenario{Name: "crash", Seed: seed}
+		if nodes > 1 {
+			sc.Crashes = append(sc.Crashes, Crash{Node: 1, At: 200 * sim.Millisecond, Restart: 700 * sim.Millisecond})
+		}
+		if nodes > 2 {
+			sc.Crashes = append(sc.Crashes, Crash{Node: 2, At: 900 * sim.Millisecond, Restart: 0})
+		}
+		return sc, nil
+	case "flaky":
+		// Lossy profiling path: 15% of dedicated OAL flushes dropped, 10%
+		// duplicated. Exercises flush retry/backoff and master-side dedup.
+		return &Scenario{Name: "flaky", Seed: seed,
+			FlushLoss: &FlushLoss{DropProb: 0.15, DupProb: 0.10, Salt: 0xf1a}}, nil
+	case "partition":
+		// The upper half of the cluster is cut off from the master twice,
+		// briefly. Crossing protocol traffic is held until the heal;
+		// crossing flushes are dropped.
+		if nodes < 2 {
+			return &Scenario{Name: "partition", Seed: seed}, nil
+		}
+		var group []int
+		for i := (nodes + 1) / 2; i < nodes; i++ {
+			group = append(group, i)
+		}
+		return &Scenario{Name: "partition", Seed: seed, Partitions: []Partition{
+			{At: 300 * sim.Millisecond, Duration: 250 * sim.Millisecond, Nodes: group},
+			{At: 1100 * sim.Millisecond, Duration: 200 * sim.Millisecond, Nodes: group},
+		}}, nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown preset %q (have %s)", name, strings.Join(PresetNames, ", "))
 	}

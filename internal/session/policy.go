@@ -53,6 +53,13 @@ type Snapshot struct {
 	// Kernel and Network are the protocol counters so far.
 	Kernel  gos.KernelStats
 	Network NetworkStats
+	// Health is the failure detector's view of the cluster — per-node
+	// liveness, last heartbeat, in-flight flush depth — plus the failure
+	// counters (retries, evacuations, abandoned flushes). Nil unless the
+	// kernel's failure layer is enabled (gos.Config.Failure), so
+	// failure-unaware policies and golden runs are untouched. Boundary
+	// snapshots alias session scratch like the other views.
+	Health *gos.HealthSnapshot
 }
 
 // HotObject is one newly shared object in a snapshot.

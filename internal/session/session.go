@@ -88,6 +88,7 @@ type Session struct {
 	scratchTrace    []core.RateChange
 	scratchFoot     map[int]sticky.Footprint
 	scratchFinished []bool
+	scratchHealth   *gos.HealthSnapshot
 
 	err error // sticky configuration error, surfaced on first use
 }
@@ -399,6 +400,15 @@ func (s *Session) snapshot(profile, boundary bool) *Snapshot {
 	}
 	for i := 0; i < n; i++ {
 		snap.Finished[i] = k.Thread(i).Finished()
+	}
+	// Cluster health rides along when the failure layer is on (nil
+	// otherwise, so failure-unaware policies never see the field move).
+	if boundary {
+		if h := k.HealthInto(s.scratchHealth); h != nil {
+			s.scratchHealth, snap.Health = h, h
+		}
+	} else {
+		snap.Health = k.HealthInto(nil)
 	}
 	if s.prof != nil {
 		if boundary {

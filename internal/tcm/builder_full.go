@@ -252,3 +252,13 @@ func (b *FullBuilder) IngestSummary(s *Summary) {
 func (b *FullBuilder) Merge(other *FullBuilder) {
 	b.IngestSummary(other.Summarize())
 }
+
+// DecayThreads is a documented no-op on the legacy builder: FullBuilder
+// re-accrues the map from raw per-object state on every Build/Peek, so a
+// retroactive discount of already-accrued cells has nothing to attach to
+// (the evidence IS the per-object state, and rewriting logged history
+// would break the builder's full-rebuild contract). Failure-degradation
+// tests gate on BuilderVariant() == "incremental" for this reason; under
+// `-tags tcmfull` the correlation map simply keeps lost nodes' evidence at
+// full weight.
+func (b *FullBuilder) DecayThreads(threads []int, factor float64) {}

@@ -319,6 +319,43 @@ func (b *IncBuilder) resetDirty() {
 	b.allDirty = false
 }
 
+// DecayThreads scales every accumulated correlation involving the given
+// threads by factor (clamped into [0, 1]) — the graceful-degradation hook
+// the master's failure detector pulls when a node is declared dead: instead
+// of freezing stale correlations at full weight, the lost threads'
+// evidence is discounted so live threads dominate the next placement
+// decision. The decay is deterministic (`int64(float64(v)*factor + 0.5)`
+// per cell, applied to both symmetric mirrors); a pair whose BOTH threads
+// are in the set decays twice (factor²), the intended stronger quarantine
+// of entirely-dead evidence. Per-object thread sets and weights are left
+// intact — future re-logs accrue at full weight, so a recovered node's
+// threads rebuild their correlations naturally. Out-of-range ids are
+// ignored. The scratch mirror is invalidated, so the next PeekInto is a
+// full O(N²) render.
+func (b *IncBuilder) DecayThreads(threads []int, factor float64) {
+	if factor < 0 || math.IsNaN(factor) {
+		factor = 0
+	}
+	if factor >= 1 {
+		return
+	}
+	decayed := false
+	for _, t := range threads {
+		if t < 0 || t >= b.n {
+			continue
+		}
+		decayed = true
+		for j := 0; j < b.n; j++ {
+			ij, ji := t*b.n+j, j*b.n+t
+			b.acc[ij] = int64(float64(b.acc[ij])*factor + 0.5)
+			b.acc[ji] = int64(float64(b.acc[ji])*factor + 0.5)
+		}
+	}
+	if decayed {
+		b.allDirty = true
+	}
+}
+
 // VisitNewlyShared streams the objects whose thread set crossed two members
 // since the last consuming call, in ascending key order: key, current
 // weight, and the ascending accessor ids (the threads slice is iteration

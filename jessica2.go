@@ -169,6 +169,21 @@ type FootprintConfig = core.FootprintConfig
 // MigrationOutcome reports one thread migration.
 type MigrationOutcome = migration.Outcome
 
+// Failure-tolerance vocabulary (see gos/failure.go): FailureConfig arms and
+// tunes the layer via Config.Failure; HealthSnapshot/NodeHealth surface the
+// detector's cluster view in session snapshots; FailureStats counts its
+// work (heartbeats, lease expiries, evacuations, flush retries).
+type (
+	FailureConfig  = gos.FailureConfig
+	FailureStats   = gos.FailureStats
+	HealthSnapshot = gos.HealthSnapshot
+	NodeHealth     = gos.NodeHealth
+)
+
+// DefaultFailureConfig returns the calibrated failure-layer timings
+// (20ms heartbeats, 60ms leases, 30ms flush timeout with capped backoff).
+var DefaultFailureConfig = gos.DefaultFailureConfig
+
 // Workload types (paper benchmarks and synthetics).
 type (
 	// SOR is the red-black successive over-relaxation kernel.
@@ -219,6 +234,17 @@ const (
 	RampBandwidth = scenario.RampBandwidth
 )
 
+// ScenarioCrash, ScenarioPartition and ScenarioFlushLoss are the failure
+// events of a Scenario: node crash/restart windows, transient network
+// partitions, and probabilistic loss/duplication of dedicated profile
+// flushes. All are seed-deterministic; see the scenario package and the
+// "crash", "flaky" and "partition" presets.
+type (
+	ScenarioCrash     = scenario.Crash
+	ScenarioPartition = scenario.Partition
+	ScenarioFlushLoss = scenario.FlushLoss
+)
+
 // ScenarioPreset builds one of the named built-in scenarios; ParseScenario
 // accepts comma-separated preset lists ("hetero,jitter"). See
 // scenario.PresetNames for the vocabulary.
@@ -265,6 +291,11 @@ type Config struct {
 	// DistributedTCM enables the paper's §VI scalability extension:
 	// workers pre-reduce their OALs into per-object summaries.
 	DistributedTCM bool
+	// OALFlushEntries overrides the buffered-entry threshold that triggers
+	// a dedicated profile flush to the master (0 keeps the default). Lower
+	// thresholds ship more, smaller, dedicated CatOAL messages — the
+	// traffic class failure scenarios can drop or duplicate.
+	OALFlushEntries int
 	// Network overrides the interconnect model field by field: any zero
 	// field keeps its default, so partial overrides (say, latency only)
 	// compose with the Fast Ethernet baseline.
@@ -280,8 +311,16 @@ type Config struct {
 	Sched SchedConfig
 	// Scenario, when non-nil, perturbs the run with the fault-injection
 	// scenario engine (heterogeneous CPUs, link ramps, jitter, transient
-	// slowdowns, workload phase shifts). Same-seed runs stay deterministic.
+	// slowdowns, workload phase shifts, node crashes, partitions, lossy
+	// profile flushes). Same-seed runs stay deterministic.
 	Scenario *Scenario
+	// Failure, when non-nil, arms the runtime's failure-tolerance layer:
+	// heartbeat/lease node-death detection with safe-point thread
+	// evacuation, reliable (timeout + backoff + dedup) profile flushes,
+	// and graceful TCM degradation for dead nodes' stale summaries. Use
+	// DefaultFailureConfig for calibrated timings; leave nil to keep the
+	// classic fail-free protocol byte-identical.
+	Failure *FailureConfig
 	// Epoch is the closed-loop stepping period Session.Run and RunUntil
 	// use when a policy is installed (Step takes an explicit period).
 	Epoch Time
@@ -308,9 +347,13 @@ func (cfg Config) kernelConfig() gos.Config {
 	kcfg.Tracking = cfg.Tracking
 	kcfg.TransferOALs = cfg.TransferOALs
 	kcfg.DistributedTCM = cfg.DistributedTCM
+	if cfg.OALFlushEntries > 0 {
+		kcfg.OALFlushEntries = cfg.OALFlushEntries
+	}
 	kcfg.Net = mergeNetwork(kcfg.Net, cfg.Network)
 	kcfg.Costs = mergeCosts(kcfg.Costs, cfg.Costs)
 	kcfg.Sched = cfg.Sched
+	kcfg.Failure = cfg.Failure
 	return kcfg
 }
 
