@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test test-race test-tcmfull test-chaos bench bench-seq demo-closedloop clean
+.PHONY: verify build vet test test-race test-tcmfull test-chaos test-serve bench bench-seq demo-closedloop demo-serve clean
 
 verify: build vet test
 
@@ -33,6 +33,14 @@ test-chaos:
 	go test -race -count=1 -run 'Chaos|InjectionDisabled|GoldenTrace|FigR|Failure|Flush|Lease|Heartbeat|Fuzz|Crash|Intercept|Shaper' . ./internal/gos/ ./internal/experiments/ ./internal/scenario/ ./internal/network/
 	go run ./cmd/djvmbench -figR -scale $(SCALE)
 
+# test-serve is the open-loop traffic gauntlet: ServeMix golden determinism
+# and arrival-stream property tests under the race detector, plus the
+# Figure T assertion (closed-loop placement must strictly beat nop and
+# one-shot on P99 on every arrival schedule; non-zero exit otherwise).
+test-serve:
+	go test -race -count=1 -run 'ServeMix|Arrivals|FigT|Controller' . ./internal/workload/ ./internal/scenario/ ./internal/experiments/ ./internal/sampling/
+	go run ./cmd/djvmbench -figT -scale $(SCALE)
+
 # test-tcmfull reruns the suite with the legacy full-rebuild TCM builder
 # selected (the incremental builder's oracle); the equivalence property
 # tests run the pair head to head under either tag.
@@ -60,6 +68,12 @@ bench-seq:
 # times printed head to head (see EXPERIMENTS.md, Figure CL).
 demo-closedloop:
 	go run ./cmd/djvmrun -app kv -scenario phased -policy rebalance -epochs 8 -tcm=false
+
+# demo-serve runs the open-loop serving demo: ServeMix under the diurnal
+# arrival schedule, rebalance policy at 125 ms epochs, goodput and
+# P50/P95/P99 tail latency in the report (see EXPERIMENTS.md, Figure T).
+demo-serve:
+	go run ./cmd/djvmrun -app serve -nodes 4 -scenario diurnal -policy rebalance -epoch 125ms -tcm=false
 
 clean:
 	rm -f BENCH_current.json

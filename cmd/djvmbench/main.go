@@ -87,6 +87,7 @@ func benchCases(sc experiments.Scale, p *runner.Pool) []struct {
 		{"FigS", func() { experiments.FigS(sc, p) }},
 		{"FigCL", func() { experiments.FigCL(sc, p) }},
 		{"FigR", func() { experiments.FigR(sc, p) }},
+		{"FigT", func() { experiments.FigT(sc, p) }},
 		// EpochSnapshot is the closed-loop epoch-rate probe: one KVMix/phased
 		// run at fixed 2 ms epochs, every boundary paying the snapshot path
 		// the incremental TCM maintenance feeds.
@@ -144,6 +145,7 @@ func main() {
 		figS      = flag.Bool("figS", false, "regenerate Figure S (scenario sensitivity sweep)")
 		figCL     = flag.Bool("figCL", false, "regenerate Figure CL (closed-loop adaptation sweep)")
 		figR      = flag.Bool("figR", false, "regenerate Figure R (failure resilience sweep); exits non-zero if recovery does not win")
+		figT      = flag.Bool("figT", false, "regenerate Figure T (open-loop tail-latency sweep); exits non-zero if closed-loop placement does not win on P99")
 		all       = flag.Bool("all", false, "regenerate everything")
 		scale     = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -165,7 +167,7 @@ func main() {
 		fmt.Println("wrote", *benchjson)
 		return
 	}
-	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL && !*figR {
+	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL && !*figR && !*figT {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -224,6 +226,21 @@ func main() {
 			if vs := res.Violations(); len(vs) > 0 {
 				for _, v := range vs {
 					fmt.Fprintln(os.Stderr, "djvmbench: figR violation:", v)
+				}
+				os.Exit(1)
+			}
+		})
+	}
+	if *all || *figT {
+		run("Figure T", func() {
+			res := experiments.FigT(sc, pool)
+			emit(res.Table())
+			// Figure T doubles as an assertion: closed-loop placement must
+			// strictly beat the nop baseline and the one-shot placement on
+			// P99 latency on every arrival schedule.
+			if vs := res.Violations(); len(vs) > 0 {
+				for _, v := range vs {
+					fmt.Fprintln(os.Stderr, "djvmbench: figT violation:", v)
 				}
 				os.Exit(1)
 			}

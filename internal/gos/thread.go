@@ -158,6 +158,25 @@ func (t *Thread) Charge(d sim.Time) {
 // Compute models pure application computation of duration d.
 func (t *Thread) Compute(d sim.Time) { t.Charge(d) }
 
+// Now returns the thread's accurate virtual time: pending CPU is flushed
+// first, so the clock includes all work charged so far. Open-loop workloads
+// use this to timestamp request completions.
+func (t *Thread) Now() sim.Time {
+	t.flushCPU()
+	return t.proc.Now()
+}
+
+// SleepUntil parks the thread until absolute virtual time at (a no-op if at
+// is already past after flushing pending CPU). Open-loop workloads use this
+// to idle until the next scheduled request arrival; unlike Compute time,
+// the wait charges no CPU.
+func (t *Thread) SleepUntil(at sim.Time) {
+	t.flushCPU()
+	if d := at - t.proc.Now(); d > 0 {
+		t.proc.Sleep(d)
+	}
+}
+
 func (t *Thread) flushCPU() {
 	if t.pendingCPU <= 0 {
 		return

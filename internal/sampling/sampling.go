@@ -207,7 +207,12 @@ type Controller struct {
 
 	rate      Rate
 	converged bool
-	history   []Step
+	// compared records whether a comparison baseline exists: either a
+	// previous Observe produced a map to diff against, or the caller
+	// declared one via Prime. Until then a small distance is meaningless
+	// (there were never two maps) and must not stop the ladder.
+	compared bool
+	history  []Step
 }
 
 // Step records one controller decision for diagnostics.
@@ -237,18 +242,26 @@ func (a *Controller) Converged() bool { return a.converged }
 // History returns the decision log.
 func (a *Controller) History() []Step { return append([]Step(nil), a.history...) }
 
+// Prime records that a comparison baseline already exists — a correlation
+// map carried over from a previous run or window — so the very next Observe
+// is a genuine two-map comparison and may declare convergence immediately.
+func (a *Controller) Prime() { a.compared = true }
+
 // Observe feeds the relative distance between the map at the current rate
 // and the map at the previous (coarser) rate. It returns the next rate to
 // run at and whether the controller has converged. The first observation
-// for a fresh controller always raises (there is nothing to compare yet);
-// callers typically pass distance = 1 for it.
+// for a fresh controller always raises (there is nothing to compare yet,
+// so the distance argument is ignored for convergence purposes) unless the
+// ladder has a single rung, in which case it saturates; call Prime first if
+// a prior map really exists. Callers typically pass distance = 1 for the
+// bootstrap observation.
 func (a *Controller) Observe(distance float64) (next Rate, converged bool) {
 	if a.converged {
 		return a.rate, true
 	}
 	st := Step{Rate: a.rate, Distance: distance}
 	switch {
-	case distance <= a.Threshold:
+	case a.compared && distance <= a.Threshold:
 		st.Action = "converged"
 		a.converged = true
 	case a.rate >= a.Max || a.rate == FullRate:
@@ -261,6 +274,8 @@ func (a *Controller) Observe(distance float64) (next Rate, converged bool) {
 			a.rate = a.Max
 		}
 	}
+	// After any observation a map exists for the next one to diff against.
+	a.compared = true
 	a.history = append(a.history, st)
 	return a.rate, a.converged
 }

@@ -211,6 +211,66 @@ func TestControllerSaturates(t *testing.T) {
 	}
 }
 
+// TestControllerFirstObservation: a fresh controller has never compared two
+// correlation maps, so the very first Observe must not declare convergence —
+// not for a generous Threshold >= 1 with the documented distance = 1
+// bootstrap call, and not for an arbitrarily small first distance. It raises
+// instead (regression: the pre-fix controller stopped the ladder at Start).
+func TestControllerFirstObservation(t *testing.T) {
+	// Threshold >= 1 swallows the documented distance = 1 bootstrap call.
+	c := NewController(1.0, 1, 64)
+	r, conv := c.Observe(1.0)
+	if conv {
+		t.Fatal("fresh controller converged on its bootstrap observation")
+	}
+	if r != 2 {
+		t.Fatalf("first observation should raise 1X -> 2X, got %v", r)
+	}
+	if h := c.History(); h[0].Action != "raise" {
+		t.Fatalf("first action = %q, want raise", h[0].Action)
+	}
+	// A tiny first distance is equally meaningless: nothing was compared.
+	c = NewController(0.05, 1, 64)
+	if _, conv := c.Observe(0.0); conv {
+		t.Fatal("fresh controller converged on a zero first distance")
+	}
+	// The second observation is a real comparison and may converge.
+	if _, conv := c.Observe(0.01); !conv {
+		t.Fatal("second observation under threshold should converge")
+	}
+	if c.Rate() != 2 {
+		t.Fatalf("converged rate = %v, want 2", c.Rate())
+	}
+}
+
+// TestControllerPrime: an explicit prior-map declaration lets the first
+// Observe be a genuine comparison.
+func TestControllerPrime(t *testing.T) {
+	c := NewController(0.05, 4, 64)
+	c.Prime()
+	r, conv := c.Observe(0.01)
+	if !conv || r != 4 {
+		t.Fatalf("primed controller should converge at Start: rate %v conv %v", r, conv)
+	}
+	if h := c.History(); h[0].Action != "converged" {
+		t.Fatalf("action = %q", h[0].Action)
+	}
+}
+
+// TestControllerFirstObservationSaturates: a single-rung ladder
+// (Start == Max) cannot raise, so the bootstrap observation legitimately
+// saturates rather than spinning forever.
+func TestControllerFirstObservationSaturates(t *testing.T) {
+	c := NewController(0.001, 8, 8)
+	_, conv := c.Observe(1)
+	if !conv {
+		t.Fatal("single-rung ladder should saturate immediately")
+	}
+	if h := c.History(); h[0].Action != "saturated" {
+		t.Fatalf("action = %q", h[0].Action)
+	}
+}
+
 func TestControllerDefaults(t *testing.T) {
 	c := NewController(0.05, 0, 0)
 	if c.Rate() != 1 {

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"jessica2/internal/sim"
+)
+
+func arrivalSpecs() map[string]*Arrivals {
+	return map[string]*Arrivals{
+		"poisson": {Kind: ArrivePoisson, Rate: 5000, Horizon: 4 * sim.Second},
+		"diurnal": {Kind: ArriveDiurnal, Rate: 8000, Horizon: 4 * sim.Second,
+			Period: sim.Second, Trough: 0.25},
+		"burst": {Kind: ArriveBurst, Rate: 3000, Horizon: 4 * sim.Second,
+			BurstEvery: 500 * sim.Millisecond, BurstLen: 100 * sim.Millisecond, BurstFactor: 5},
+	}
+}
+
+// Property: same (spec, seed) => byte-identical schedule; a different seed
+// or a different salt => an independent stream.
+func TestArrivalsSeedDeterministic(t *testing.T) {
+	for name, a := range arrivalSpecs() {
+		s1 := a.Schedule(42)
+		s2 := a.Schedule(42)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("%s: same seed produced different schedules", name)
+		}
+		if reflect.DeepEqual(s1, a.Schedule(43)) {
+			t.Fatalf("%s: different seeds produced identical schedules", name)
+		}
+		salted := *a
+		salted.Salt = 7
+		s3 := salted.Schedule(42)
+		if reflect.DeepEqual(s1, s3) {
+			t.Fatalf("%s: different salts produced identical schedules", name)
+		}
+		// Independence, not just inequality: the prefix should diverge
+		// immediately, not after some shared stem.
+		if len(s3) > 0 && len(s1) > 0 && s1[0] == s3[0] {
+			t.Fatalf("%s: salted stream shares its first arrival %v", name, s1[0])
+		}
+	}
+}
+
+// Property: schedules are sorted ascending and bounded by the horizon.
+func TestArrivalsSortedWithinHorizon(t *testing.T) {
+	for name, a := range arrivalSpecs() {
+		s := a.Schedule(1)
+		if len(s) == 0 {
+			t.Fatalf("%s: empty schedule", name)
+		}
+		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+			t.Fatalf("%s: schedule not sorted", name)
+		}
+		if s[0] < 0 || s[len(s)-1] >= a.Horizon {
+			t.Fatalf("%s: arrivals outside [0, %v): first %v last %v", name, a.Horizon, s[0], s[len(s)-1])
+		}
+	}
+}
+
+// expectedCount integrates the spec's rate function over the horizon.
+func expectedCount(a *Arrivals) float64 {
+	const step = 10 * sim.Microsecond
+	var sum float64
+	for t := sim.Time(0); t < a.Horizon; t += step {
+		sum += a.rateAt(t) * float64(step) / float64(sim.Second)
+	}
+	return sum
+}
+
+// Property: the empirical arrival count (equivalently the mean interarrival
+// gap) matches the integral of the spec's rate function within sampling
+// tolerance, for all three kinds.
+func TestArrivalsRateCorrect(t *testing.T) {
+	for name, a := range arrivalSpecs() {
+		s := a.Schedule(99)
+		want := expectedCount(a)
+		got := float64(len(s))
+		// 5 sigma of a Poisson count, floored at 5% relative.
+		tol := 5 * math.Sqrt(want)
+		if rel := 0.05 * want; tol < rel {
+			tol = rel
+		}
+		if math.Abs(got-want) > tol {
+			t.Fatalf("%s: %v arrivals, want %.0f +/- %.0f", name, len(s), want, tol)
+		}
+		// Mean interarrival over the whole horizon.
+		meanGap := float64(a.Horizon) / got
+		wantGap := float64(a.Horizon) / want
+		if math.Abs(meanGap-wantGap) > 0.05*wantGap {
+			t.Fatalf("%s: mean interarrival %.0fns, want %.0fns", name, meanGap, wantGap)
+		}
+	}
+}
+
+// Burst windows must actually be busier than the calm baseline.
+func TestArrivalsBurstShape(t *testing.T) {
+	a := arrivalSpecs()["burst"]
+	s := a.Schedule(7)
+	var inBurst, calm int
+	for _, at := range s {
+		if at >= a.BurstEvery && at%a.BurstEvery < a.BurstLen {
+			inBurst++
+		} else {
+			calm++
+		}
+	}
+	// Burst windows cover 1/5 of the post-warmup run at 5x the rate, so
+	// they should hold roughly half the arrivals — assert well above the
+	// 1/5 a flat process would put there.
+	frac := float64(inBurst) / float64(len(s))
+	if frac < 0.35 {
+		t.Fatalf("burst windows hold %.0f%% of arrivals, want >35%%", 100*frac)
+	}
+}
+
+func TestArrivalsMaxRequests(t *testing.T) {
+	a := &Arrivals{Kind: ArrivePoisson, Rate: 5000, Horizon: 4 * sim.Second, MaxRequests: 100}
+	if s := a.Schedule(1); len(s) != 100 {
+		t.Fatalf("cap ignored: %d arrivals", len(s))
+	}
+}
+
+func TestArrivalsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *Arrivals
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"poisson", &Arrivals{Kind: ArrivePoisson, Rate: 100, Horizon: sim.Second}, true},
+		{"zero-rate", &Arrivals{Kind: ArrivePoisson, Rate: 0, Horizon: sim.Second}, false},
+		{"nan-rate", &Arrivals{Kind: ArrivePoisson, Rate: math.NaN(), Horizon: sim.Second}, false},
+		{"inf-rate", &Arrivals{Kind: ArrivePoisson, Rate: math.Inf(1), Horizon: sim.Second}, false},
+		{"zero-horizon", &Arrivals{Kind: ArrivePoisson, Rate: 100}, false},
+		{"negative-cap", &Arrivals{Kind: ArrivePoisson, Rate: 100, Horizon: sim.Second, MaxRequests: -1}, false},
+		{"diurnal", &Arrivals{Kind: ArriveDiurnal, Rate: 100, Horizon: sim.Second, Trough: 0.5}, true},
+		{"diurnal-zero-trough", &Arrivals{Kind: ArriveDiurnal, Rate: 100, Horizon: sim.Second, Trough: 0}, false},
+		{"diurnal-big-trough", &Arrivals{Kind: ArriveDiurnal, Rate: 100, Horizon: sim.Second, Trough: 1.5}, false},
+		{"diurnal-nan-trough", &Arrivals{Kind: ArriveDiurnal, Rate: 100, Horizon: sim.Second, Trough: math.NaN()}, false},
+		{"burst", &Arrivals{Kind: ArriveBurst, Rate: 100, Horizon: sim.Second,
+			BurstEvery: 100 * sim.Millisecond, BurstLen: 10 * sim.Millisecond, BurstFactor: 3}, true},
+		{"burst-no-window", &Arrivals{Kind: ArriveBurst, Rate: 100, Horizon: sim.Second, BurstFactor: 3}, false},
+		{"burst-len-exceeds-spacing", &Arrivals{Kind: ArriveBurst, Rate: 100, Horizon: sim.Second,
+			BurstEvery: 10 * sim.Millisecond, BurstLen: 20 * sim.Millisecond, BurstFactor: 3}, false},
+		{"burst-nan-factor", &Arrivals{Kind: ArriveBurst, Rate: 100, Horizon: sim.Second,
+			BurstEvery: 100 * sim.Millisecond, BurstLen: 10 * sim.Millisecond, BurstFactor: math.NaN()}, false},
+		{"unknown-kind", &Arrivals{Kind: ArrivalKind(99), Rate: 100, Horizon: sim.Second}, false},
+	}
+	for _, c := range cases {
+		err := c.a.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid spec accepted", c.name)
+		}
+	}
+	// An invalid spec embedded in a scenario is rejected by Scenario.Validate.
+	sc := &Scenario{Arrivals: &Arrivals{Kind: ArrivePoisson, Rate: -1, Horizon: sim.Second}}
+	if err := sc.Validate(4); err == nil {
+		t.Fatal("Scenario.Validate accepted an invalid arrival spec")
+	}
+}

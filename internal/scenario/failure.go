@@ -43,19 +43,37 @@ const DefaultCrashFactor = 0.05
 const downPenalty = 5 * sim.Millisecond
 
 // Crash takes a node down at At and (optionally) back up at Restart.
-// Restart == 0 means the node never comes back. While down, the node's CPU
-// runs at Factor of its base speed (DefaultCrashFactor when Factor == 0),
-// its heartbeats stop, dedicated OAL flushes to/from it are dropped, and
-// other traffic involving it is deferred to the restart (or penalized, for
-// a permanent crash).
+// Restart == 0 means the node never comes back (see Forever). While down,
+// the node's CPU runs at Factor of its base speed (DefaultCrashFactor when
+// Factor == 0), its heartbeats stop, dedicated OAL flushes to/from it are
+// dropped, and other traffic involving it is deferred to the restart (or
+// penalized, for a permanent crash).
 type Crash struct {
 	Node        int
 	At, Restart sim.Time
 	Factor      float64
 }
 
-// window returns the down interval; end == 0 encodes "forever".
-func (c Crash) window() (start, end sim.Time) { return c.At, c.Restart }
+// Forever reports whether the crash is permanent. Restart == 0 is the
+// explicit "never restarts" encoding, and it is unambiguous even for a
+// crash scheduled at At == 0: a finite restart must satisfy
+// Restart > At >= 0 (validation rejects anything else and normalization
+// drops it), so no finite window can ever have Restart == 0.
+func (c Crash) Forever() bool { return c.Restart == 0 }
+
+// window returns the down interval [start, end) and whether it extends
+// forever. end is meaningful only when forever is false; every consumer of
+// the schedule goes through this (or Down) rather than re-deriving the
+// Restart == 0 convention.
+func (c Crash) window() (start, end sim.Time, forever bool) {
+	return c.At, c.Restart, c.Forever()
+}
+
+// Down reports whether the crash covers virtual time now.
+func (c Crash) Down(now sim.Time) bool {
+	start, end, forever := c.window()
+	return now >= start && (forever || now < end)
+}
 
 // Partition isolates the Nodes group from the rest of the cluster during
 // [At, At+Duration). Dedicated OAL flushes crossing the cut are dropped;
@@ -98,7 +116,7 @@ func NormalizeCrashes(crashes []Crash) []Crash {
 		if c.Restart < 0 {
 			c.Restart = 0
 		}
-		if c.Restart != 0 && c.Restart <= c.At {
+		if !c.Forever() && c.Restart <= c.At {
 			continue // restart-before-crash: drop, never panic
 		}
 		if c.Factor < 0 {
@@ -117,24 +135,23 @@ func NormalizeCrashes(crashes []Crash) []Crash {
 		if a.At != b.At {
 			return a.At < b.At
 		}
-		// Permanent windows (Restart 0) sort after finite ones at the same At.
-		ar, br := a.Restart, b.Restart
-		if ar == 0 {
+		// Permanent windows sort after finite ones at the same At.
+		if a.Forever() {
 			return false
 		}
-		if br == 0 {
+		if b.Forever() {
 			return true
 		}
-		return ar < br
+		return a.Restart < b.Restart
 	})
 	merged := out[:0]
 	for _, c := range out {
 		if len(merged) > 0 {
 			last := &merged[len(merged)-1]
-			if last.Node == c.Node && (last.Restart == 0 || c.At <= last.Restart) {
+			if last.Node == c.Node && (last.Forever() || c.At <= last.Restart) {
 				// Overlapping or touching: extend the earlier window. The
 				// earlier window's crawl factor wins.
-				if last.Restart != 0 && (c.Restart == 0 || c.Restart > last.Restart) {
+				if !last.Forever() && (c.Forever() || c.Restart > last.Restart) {
 					last.Restart = c.Restart
 				}
 				continue
@@ -157,10 +174,10 @@ func (sc *Scenario) validateFailures(nodes int) error {
 		if c.At < 0 {
 			return fmt.Errorf("scenario: crash at negative time %v", c.At)
 		}
-		if c.Restart != 0 && c.Restart <= c.At {
+		if !c.Forever() && c.Restart <= c.At {
 			return fmt.Errorf("scenario: crash restart %v not after crash %v", c.Restart, c.At)
 		}
-		if c.Factor < 0 || c.Factor > 1 {
+		if !finite(c.Factor) || c.Factor < 0 || c.Factor > 1 {
 			return fmt.Errorf("scenario: crash factor %g outside [0, 1]", c.Factor)
 		}
 	}
@@ -178,7 +195,8 @@ func (sc *Scenario) validateFailures(nodes int) error {
 		}
 	}
 	if fl := sc.FlushLoss; fl != nil {
-		if fl.DropProb < 0 || fl.DupProb < 0 || fl.DropProb+fl.DupProb > 1 {
+		if !finite(fl.DropProb) || !finite(fl.DupProb) ||
+			fl.DropProb < 0 || fl.DupProb < 0 || fl.DropProb+fl.DupProb > 1 {
 			return fmt.Errorf("scenario: flush loss probabilities drop=%g dup=%g invalid", fl.DropProb, fl.DupProb)
 		}
 	}
@@ -229,7 +247,7 @@ func (fi *failureInterceptor) downUntil(node int, now sim.Time) (restart sim.Tim
 		if c.Node != node {
 			continue
 		}
-		if now >= c.At && (c.Restart == 0 || now < c.Restart) {
+		if c.Down(now) {
 			return c.Restart, true
 		}
 	}
@@ -298,7 +316,7 @@ func (sc *Scenario) applyFailures(k *gos.Kernel) {
 		}
 		crawl := base * factor
 		k.Eng.Schedule(c.At, func() { cpu.SetSpeed(crawl) })
-		if c.Restart != 0 {
+		if !c.Forever() {
 			k.Eng.Schedule(c.Restart, func() { cpu.SetSpeed(base) })
 		}
 	}

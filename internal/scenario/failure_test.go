@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"jessica2/internal/sim"
+)
+
+// TestValidateFailureSpecs: every documented failure-spec constraint is
+// enforced, not just documented — FlushLoss probability mass, crash
+// windows, partition durations and groups.
+func TestValidateFailureSpecs(t *testing.T) {
+	const nodes = 4
+	ms := sim.Millisecond
+	cases := []struct {
+		name string
+		sc   *Scenario
+		ok   bool
+	}{
+		{"empty", &Scenario{}, true},
+		{"crash-finite", &Scenario{Crashes: []Crash{{Node: 1, At: 100 * ms, Restart: 200 * ms}}}, true},
+		{"crash-forever", &Scenario{Crashes: []Crash{{Node: 1, At: 100 * ms}}}, true},
+		{"crash-at-zero-with-restart", &Scenario{Crashes: []Crash{{Node: 1, At: 0, Restart: 50 * ms}}}, true},
+		{"crash-at-zero-forever", &Scenario{Crashes: []Crash{{Node: 1, At: 0}}}, true},
+		{"crash-master", &Scenario{Crashes: []Crash{{Node: 0, At: 100 * ms}}}, false},
+		{"crash-out-of-range", &Scenario{Crashes: []Crash{{Node: nodes, At: 100 * ms}}}, false},
+		{"crash-negative-at", &Scenario{Crashes: []Crash{{Node: 1, At: -ms}}}, false},
+		{"crash-restart-before-crash", &Scenario{Crashes: []Crash{{Node: 1, At: 200 * ms, Restart: 100 * ms}}}, false},
+		{"crash-restart-equals-crash", &Scenario{Crashes: []Crash{{Node: 1, At: 200 * ms, Restart: 200 * ms}}}, false},
+		{"crash-factor-above-one", &Scenario{Crashes: []Crash{{Node: 1, At: ms, Factor: 1.5}}}, false},
+		{"crash-factor-nan", &Scenario{Crashes: []Crash{{Node: 1, At: ms, Factor: math.NaN()}}}, false},
+		{"partition", &Scenario{Partitions: []Partition{{At: ms, Duration: ms, Nodes: []int{2, 3}}}}, true},
+		{"partition-zero-duration", &Scenario{Partitions: []Partition{{At: ms, Duration: 0, Nodes: []int{2}}}}, false},
+		{"partition-negative-duration", &Scenario{Partitions: []Partition{{At: ms, Duration: -ms, Nodes: []int{2}}}}, false},
+		{"partition-empty-group", &Scenario{Partitions: []Partition{{At: ms, Duration: ms}}}, false},
+		{"partition-whole-cluster", &Scenario{Partitions: []Partition{{At: ms, Duration: ms, Nodes: []int{0, 1, 2, 3}}}}, false},
+		{"partition-member-out-of-range", &Scenario{Partitions: []Partition{{At: ms, Duration: ms, Nodes: []int{nodes}}}}, false},
+		{"flushloss", &Scenario{FlushLoss: &FlushLoss{DropProb: 0.5, DupProb: 0.5}}, true},
+		{"flushloss-mass-exceeds-one", &Scenario{FlushLoss: &FlushLoss{DropProb: 0.7, DupProb: 0.4}}, false},
+		{"flushloss-negative", &Scenario{FlushLoss: &FlushLoss{DropProb: -0.1}}, false},
+		{"flushloss-nan", &Scenario{FlushLoss: &FlushLoss{DropProb: math.NaN()}}, false},
+	}
+	for _, c := range cases {
+		err := c.sc.Validate(nodes)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid spec accepted", c.name)
+		}
+	}
+}
+
+// TestCrashForeverEncoding pins down the window encoding: Restart == 0 is
+// "forever" on any crash (even one scheduled at At == 0), while a
+// zero-valued At with a real Restart is an ordinary finite window starting
+// at time zero. No finite window can have Restart == 0, so the encoding is
+// unambiguous.
+func TestCrashForeverEncoding(t *testing.T) {
+	ms := sim.Millisecond
+	permanent := Crash{Node: 1, At: 0}
+	if !permanent.Forever() {
+		t.Fatal("Restart == 0 should be permanent")
+	}
+	if !permanent.Down(0) || !permanent.Down(3600*sim.Second) {
+		t.Fatal("permanent crash at At == 0 should cover all of time")
+	}
+	if _, _, forever := permanent.window(); !forever {
+		t.Fatal("window() should report forever")
+	}
+
+	finiteAtZero := Crash{Node: 1, At: 0, Restart: 50 * ms}
+	if finiteAtZero.Forever() {
+		t.Fatal("a real Restart is not permanent, even with At == 0")
+	}
+	if !finiteAtZero.Down(0) || !finiteAtZero.Down(49*ms) {
+		t.Fatal("finite window should cover [0, restart)")
+	}
+	if finiteAtZero.Down(50 * ms) {
+		t.Fatal("restart instant is up, not down (half-open window)")
+	}
+	start, end, forever := finiteAtZero.window()
+	if start != 0 || end != 50*ms || forever {
+		t.Fatalf("window() = %v, %v, %v", start, end, forever)
+	}
+
+	later := Crash{Node: 1, At: 100 * ms, Restart: 200 * ms}
+	if later.Down(99*ms) || !later.Down(100*ms) || later.Down(200*ms) {
+		t.Fatal("finite window bounds wrong")
+	}
+
+	// Normalization preserves the encoding: a permanent window absorbs
+	// finite ones after it and stays permanent.
+	merged := NormalizeCrashes([]Crash{
+		{Node: 1, At: 100 * ms, Restart: 0},
+		{Node: 1, At: 150 * ms, Restart: 300 * ms},
+	})
+	if len(merged) != 1 || !merged[0].Forever() || merged[0].At != 100*ms {
+		t.Fatalf("merged = %+v", merged)
+	}
+	// And the interceptor sees a permanent crash as down forever.
+	fi := newFailureInterceptor(&Scenario{Crashes: []Crash{{Node: 1, At: 100 * ms}}})
+	if restart, down := fi.downUntil(1, 3600*sim.Second); !down || restart != 0 {
+		t.Fatalf("downUntil = %v, %v; want 0, true", restart, down)
+	}
+	if _, down := fi.downUntil(1, 99*ms); down {
+		t.Fatal("node down before its crash")
+	}
+}

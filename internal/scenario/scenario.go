@@ -16,7 +16,9 @@
 //     phase-aware workloads consult at round boundaries;
 //   - failure events (see failure.go): node crash/restart schedules,
 //     transient partitions, and seeded per-message loss/duplication of
-//     dedicated profile flushes, via the network.Interceptor hook.
+//     dedicated profile flushes, via the network.Interceptor hook;
+//   - open-loop arrivals (see arrivals.go): seed-deterministic Poisson,
+//     diurnal, and burst request schedules for request-serving workloads.
 //
 // Everything is a pure function of the scenario spec and its seed: messages
 // post in deterministic order, events fire in deterministic order, and the
@@ -125,6 +127,11 @@ type Scenario struct {
 	Crashes    []Crash
 	Partitions []Partition
 	FlushLoss  *FlushLoss
+
+	// Arrivals is the open-loop traffic schedule (arrivals.go). It does not
+	// perturb the kernel; the session layer materializes it into an arrival
+	// schedule for open-loop workloads (workload.ServeMix) at launch.
+	Arrivals *Arrivals
 }
 
 // Kinds lists the perturbation kinds the scenario carries, sorted.
@@ -154,6 +161,9 @@ func (sc *Scenario) Kinds() []string {
 	if sc.FlushLoss != nil {
 		out = append(out, "flush-loss")
 	}
+	if sc.Arrivals != nil {
+		out = append(out, "arrivals-"+sc.Arrivals.Kind.String())
+	}
 	sort.Strings(out)
 	uniq := out[:0]
 	for i, k := range out {
@@ -179,16 +189,16 @@ func (sc *Scenario) String() string {
 // Validate checks the scenario against a cluster size.
 func (sc *Scenario) Validate(nodes int) error {
 	for i, f := range sc.CPUFactors {
-		if f <= 0 {
-			return fmt.Errorf("scenario: CPU factor %g for node %d must be positive", f, i)
+		if !finite(f) || f <= 0 {
+			return fmt.Errorf("scenario: CPU factor %g for node %d must be positive and finite", f, i)
 		}
 	}
 	if len(sc.CPUFactors) > nodes {
 		return fmt.Errorf("scenario: %d CPU factors for %d nodes", len(sc.CPUFactors), nodes)
 	}
 	for _, r := range sc.Ramps {
-		if r.From <= 0 || r.To <= 0 {
-			return fmt.Errorf("scenario: ramp factors must be positive (got %g -> %g)", r.From, r.To)
+		if !finite(r.From) || !finite(r.To) || r.From <= 0 || r.To <= 0 {
+			return fmt.Errorf("scenario: ramp factors must be positive and finite (got %g -> %g)", r.From, r.To)
 		}
 		if r.Start < 0 || r.End < r.Start {
 			return fmt.Errorf("scenario: ramp window [%v, %v] invalid", r.Start, r.End)
@@ -201,8 +211,8 @@ func (sc *Scenario) Validate(nodes int) error {
 		if s.Node < 0 || s.Node >= nodes {
 			return fmt.Errorf("scenario: slowdown on node %d of %d", s.Node, nodes)
 		}
-		if s.Factor <= 0 {
-			return fmt.Errorf("scenario: slowdown factor %g must be positive", s.Factor)
+		if !finite(s.Factor) || s.Factor <= 0 {
+			return fmt.Errorf("scenario: slowdown factor %g must be positive and finite", s.Factor)
 		}
 		if s.At < 0 || s.Duration <= 0 {
 			return fmt.Errorf("scenario: slowdown window at=%v dur=%v invalid", s.At, s.Duration)
@@ -212,6 +222,9 @@ func (sc *Scenario) Validate(nodes int) error {
 		if p.At < 0 {
 			return fmt.Errorf("scenario: phase shift at negative time %v", p.At)
 		}
+	}
+	if err := sc.Arrivals.Validate(); err != nil {
+		return err
 	}
 	return sc.validateFailures(nodes)
 }
@@ -337,12 +350,16 @@ func Merge(name string, seed uint64, parts ...*Scenario) *Scenario {
 			l := *p.FlushLoss
 			out.FlushLoss = &l
 		}
+		if out.Arrivals == nil && p.Arrivals != nil {
+			a := *p.Arrivals
+			out.Arrivals = &a
+		}
 	}
 	return out
 }
 
 // PresetNames lists the built-in scenario vocabulary.
-var PresetNames = []string{"hetero", "ramp", "jitter", "noisy", "phased", "storm", "crash", "flaky", "partition"}
+var PresetNames = []string{"hetero", "ramp", "jitter", "noisy", "phased", "storm", "crash", "flaky", "partition", "poisson", "diurnal", "burst"}
 
 // Preset builds one of the named scenarios for a cluster of the given size.
 // Presets are seed-driven where randomness is involved (heterogeneous
@@ -432,6 +449,21 @@ func Preset(name string, nodes int, seed uint64) (*Scenario, error) {
 			{At: 300 * sim.Millisecond, Duration: 250 * sim.Millisecond, Nodes: group},
 			{At: 1100 * sim.Millisecond, Duration: 200 * sim.Millisecond, Nodes: group},
 		}}, nil
+	case "poisson":
+		// Steady open-loop traffic: flat Poisson arrivals for 2 s.
+		return &Scenario{Name: "poisson", Seed: seed, Arrivals: &Arrivals{
+			Kind: ArrivePoisson, Rate: 4000, Horizon: 2 * sim.Second}}, nil
+	case "diurnal":
+		// Day/night traffic: two full cycles between 20% and 100% of peak.
+		return &Scenario{Name: "diurnal", Seed: seed, Arrivals: &Arrivals{
+			Kind: ArriveDiurnal, Rate: 6000, Horizon: 2 * sim.Second,
+			Period: sim.Second, Trough: 0.2}}, nil
+	case "burst":
+		// Flash crowds: calm baseline with 4x bursts every half second.
+		return &Scenario{Name: "burst", Seed: seed, Arrivals: &Arrivals{
+			Kind: ArriveBurst, Rate: 2500, Horizon: 2 * sim.Second,
+			BurstEvery: 500 * sim.Millisecond, BurstLen: 120 * sim.Millisecond,
+			BurstFactor: 4}}, nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown preset %q (have %s)", name, strings.Join(PresetNames, ", "))
 	}

@@ -12,6 +12,7 @@ import (
 	"jessica2/internal/sim"
 	"jessica2/internal/sticky"
 	"jessica2/internal/tcm"
+	"jessica2/internal/workload"
 )
 
 // Snapshot is the profiling state visible at an epoch boundary (or any
@@ -60,6 +61,13 @@ type Snapshot struct {
 	// failure-unaware policies and golden runs are untouched. Boundary
 	// snapshots alias session scratch like the other views.
 	Health *gos.HealthSnapshot
+	// Serve is the open-loop serving view — arrivals, completions,
+	// in-flight depth, goodput, and LatencyP50/P95/P99 on the simulated
+	// clock — when an open-loop workload (workload.ServeMix) is launched.
+	// Nil for closed-loop workloads, so existing policies and golden runs
+	// never see the field move. Boundary snapshots alias session scratch
+	// like the other views.
+	Serve *workload.ServeStats
 }
 
 // HotObject is one newly shared object in a snapshot.

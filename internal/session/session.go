@@ -63,6 +63,9 @@ type Session struct {
 	scripted bool
 	policy   Policy
 	loads    []workload.Workload
+	// openLoops are the launched open-loop workloads (schedule-driven);
+	// the first one's serving stats surface in snapshots.
+	openLoops []workload.OpenLoop
 
 	started  bool
 	done     bool
@@ -89,6 +92,7 @@ type Session struct {
 	scratchFoot     map[int]sticky.Footprint
 	scratchFinished []bool
 	scratchHealth   *gos.HealthSnapshot
+	scratchServe    *workload.ServeStats
 
 	err error // sticky configuration error, surfaced on first use
 }
@@ -168,6 +172,17 @@ func (s *Session) Launch(w workload.Workload, p workload.Params) error {
 	}
 	if p.Phase == nil && s.scripted {
 		p.Phase = s.phase
+	}
+	// Open-loop workloads are schedule-driven: materialize the scenario's
+	// arrival spec for them unless the caller installed a schedule already.
+	if ol, ok := w.(workload.OpenLoop); ok {
+		if !ol.HasSchedule() && s.cfg.Scenario != nil && s.cfg.Scenario.Arrivals != nil {
+			ol.SetSchedule(s.cfg.Scenario.Arrivals.Schedule(s.cfg.Scenario.Seed))
+		}
+		if !ol.HasSchedule() {
+			return fmt.Errorf("jessica2: open-loop workload %s has no arrival schedule (set Scenario.Arrivals or SetSchedule)", w.Name())
+		}
+		s.openLoops = append(s.openLoops, ol)
 	}
 	w.Launch(s.k, p)
 	s.loads = append(s.loads, w)
@@ -409,6 +424,16 @@ func (s *Session) snapshot(profile, boundary bool) *Snapshot {
 		}
 	} else {
 		snap.Health = k.HealthInto(nil)
+	}
+	// Open-loop serving stats ride along only when an open-loop workload is
+	// launched (nil otherwise, keeping closed-loop snapshots untouched).
+	if len(s.openLoops) > 0 {
+		if boundary {
+			s.scratchServe = s.openLoops[0].ServeStatsInto(s.scratchServe, snap.Now)
+			snap.Serve = s.scratchServe
+		} else {
+			snap.Serve = s.openLoops[0].ServeStatsInto(nil, snap.Now)
+		}
 	}
 	if s.prof != nil {
 		if boundary {

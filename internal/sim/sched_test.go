@@ -219,6 +219,59 @@ func TestWaitQueueReleasesProcRefs(t *testing.T) {
 // bucketed queue must be no slower than the heap on uniform loads and
 // faster on dense near-horizon loads (where per-bucket heaps stay tiny
 // while the global heap's depth grows with the whole population).
+// BenchmarkSchedArrivalTimers models the open-loop serving pattern the
+// ServeMix workload puts on the scheduler: a standing population of
+// far-horizon arrival timers (workers sleeping until their next scheduled
+// arrival, far beyond the ring's coverage window, so they live in the
+// overflow heap) underneath a dense near-tick service churn. Each cycle
+// pops the next event and re-arms — mostly near service events, one in
+// sixteen a fresh far arrival timer — so the overflow heap stays populated
+// while the ring does the hot work. The bucketed queue must keep its
+// near-tick advantage even with the overflow heap loaded.
+func BenchmarkSchedArrivalTimers(b *testing.B) {
+	far := func(rng *splitmix64, now Time) Time {
+		return now + ringSpan + Time(rng.next()%uint64(256*ringSpan))
+	}
+	near := func(rng *splitmix64, now Time) Time {
+		return now + Time(rng.next()%uint64(bucketWidth))
+	}
+	for _, impl := range []struct {
+		name string
+		make func() evq
+	}{
+		{"heap", func() evq { return &eventPQ{} }},
+		{"bucket", func() evq { return &schedQueue{} }},
+	} {
+		for _, timers := range []int{8, 256} {
+			b.Run(fmt.Sprintf("%s/timers=%d", impl.name, timers), func(b *testing.B) {
+				rng := splitmix64(7)
+				q := impl.make()
+				var now Time
+				var seq uint64
+				for i := 0; i < timers; i++ {
+					seq++
+					q.push(event{at: far(&rng, now), seq: seq})
+				}
+				for i := 0; i < 64; i++ {
+					seq++
+					q.push(event{at: near(&rng, now), seq: seq})
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e := q.pop()
+					now = e.at
+					seq++
+					if rng.next()%16 == 0 {
+						q.push(event{at: far(&rng, now), seq: seq})
+					} else {
+						q.push(event{at: near(&rng, now), seq: seq})
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkSchedPushPop(b *testing.B) {
 	for _, impl := range []struct {
 		name string

@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"jessica2/internal/gos"
+	"jessica2/internal/heap"
+	"jessica2/internal/sim"
+	"jessica2/internal/stack"
+	"jessica2/internal/xrand"
+)
+
+// ServeMix is the open-loop RPC/microservice request-serving workload:
+// where every other workload in the package is closed-loop (a fixed thread
+// pool iterating to completion, judged on wall-clock), ServeMix serves a
+// request schedule that arrives whether or not the cluster keeps up — so
+// queueing delay, goodput and tail latency become first-class outputs.
+//
+// The serving model is a 3-level fan-out call graph over shared heap
+// objects: a frontend handler (level 1) updates the tenant's session
+// object under a session lock stripe, then issues FanOut backend RPCs
+// (level 2), each reading/writing entries of the tenant's cache partition
+// through a store accessor (level 3) and occasionally the globally shared
+// config object. Tenants are drawn zipf-skewed per request, and the hot
+// window rotates every RotateEvery of virtual time, so the correlation
+// churn the TCM sees is continuous — exactly the regime where one-shot
+// placement goes stale.
+//
+// Requests are routed sticky per tenant to a primary/replica worker pair
+// (primary by tenant hash, replica half the pool away), so every hot
+// session and cache object has at least two accessor threads — giving the
+// correlation tracker real cross-thread, and under blocked placement
+// cross-node, affinity to discover. All shared objects are allocated by
+// worker 0 during bootstrap (the usual "loader initializes the cache"
+// shape), so initial homes are centralized on node 0 and placement quality
+// is entirely up to the policy.
+//
+// The arrival schedule is injected (SetSchedule) rather than generated
+// here: scenario.Arrivals owns schedule generation, the session layer (or
+// the caller) hands the materialized times over, and the workload stays
+// deterministic — same seed and schedule, byte-identical run.
+type ServeMix struct {
+	// Tenants is the number of distinct tenants; each owns one session
+	// object and CachePerTenant cache entries of ValueSize bytes.
+	Tenants, CachePerTenant, ValueSize int
+	// FanOut is the number of backend RPCs per request (call-graph width).
+	FanOut int
+	// ZipfS is the tenant skew exponent (>1; near 1 = heavy skew).
+	ZipfS float64
+	// WriteFraction in [0,1] is the share of cache operations that write.
+	WriteFraction float64
+	// FrontCost and BackendCost are the per-stage compute charges.
+	FrontCost, BackendCost sim.Time
+	// RotateEvery shifts the hot tenant window by HotSpan tenants each
+	// period (0 freezes the hot set).
+	RotateEvery sim.Time
+	HotSpan     int
+	// Locks is the session lock stripe count.
+	Locks int
+
+	schedule []sim.Time // injected arrival schedule, sorted ascending
+	tenant   []int32    // per-request tenant draw, precomputed at Launch
+
+	sessions []*heap.Object
+	caches   []*heap.Object
+	config   *heap.Object
+
+	state serveState
+}
+
+// NewServeMix returns the default request-serving instance (tenants sized
+// for an 8-worker pool; pair it with a scenario arrival preset).
+func NewServeMix() *ServeMix {
+	return &ServeMix{
+		Tenants: 256, CachePerTenant: 4, ValueSize: 256,
+		FanOut:        3,
+		ZipfS:         1.2,
+		WriteFraction: 0.3,
+		FrontCost:     2 * sim.Microsecond,
+		BackendCost:   4 * sim.Microsecond,
+		RotateEvery:   250 * sim.Millisecond,
+		HotSpan:       64,
+		Locks:         64,
+	}
+}
+
+// Name implements Workload.
+func (w *ServeMix) Name() string { return "ServeMix" }
+
+// Characteristics implements Workload.
+func (w *ServeMix) Characteristics() Characteristics {
+	return Characteristics{
+		Name:        "ServeMix",
+		DataSet:     fmt.Sprintf("%d tenants x %d entries x %dB", w.Tenants, w.CachePerTenant+1, w.ValueSize),
+		Rounds:      1,
+		Granularity: "Fine",
+		ObjectSize:  fmt.Sprintf("%d bytes", w.ValueSize),
+	}
+}
+
+// SetSchedule installs the open-loop arrival schedule (sorted virtual
+// times, normally from scenario.Arrivals.Schedule). Must precede Launch.
+func (w *ServeMix) SetSchedule(s []sim.Time) { w.schedule = s }
+
+// HasSchedule reports whether an arrival schedule was installed.
+func (w *ServeMix) HasSchedule() bool { return w.schedule != nil }
+
+// serveLockBase keeps ServeMix lock ids clear of other workloads' ranges.
+const serveLockBase = 11000
+
+// hotBase is the rotating offset added to zipf tenant draws at arrival
+// time at: the hot set advances HotSpan tenants every RotateEvery.
+func (w *ServeMix) hotBase(at sim.Time) int {
+	if w.RotateEvery <= 0 {
+		return 0
+	}
+	return int(at/w.RotateEvery) * w.HotSpan
+}
+
+// Launch implements Workload. It panics without a schedule: an open-loop
+// workload with no arrivals is a spec error, caught at launch rather than
+// hanging the run.
+func (w *ServeMix) Launch(k *gos.Kernel, p Params) {
+	if w.schedule == nil {
+		panic("workload: ServeMix launched without an arrival schedule (SetSchedule or Scenario.Arrivals)")
+	}
+	if w.Locks <= 0 {
+		w.Locks = 1
+	}
+	if w.CachePerTenant <= 0 {
+		w.CachePerTenant = 1
+	}
+	reg := k.Reg
+	sessClass := reg.Class("ServeSession")
+	if sessClass == nil {
+		// Ref 0 chains sessions for the sticky-set resolver; ref 1 points
+		// at the tenant's first cache entry.
+		sessClass = reg.DefineClass("ServeSession", w.ValueSize, 2)
+	}
+	cacheClass := reg.Class("ServeCache")
+	if cacheClass == nil {
+		cacheClass = reg.DefineClass("ServeCache", w.ValueSize, 1)
+	}
+	confClass := reg.Class("ServeConfig")
+	if confClass == nil {
+		confClass = reg.DefineClass("ServeConfig", 64, 0)
+	}
+	w.sessions = make([]*heap.Object, w.Tenants)
+	w.caches = make([]*heap.Object, w.Tenants*w.CachePerTenant)
+	w.state.reset(len(w.schedule))
+
+	// Per-request tenant draws: zipf rank over the rotating hot window,
+	// a pure function of (seed, schedule).
+	zipf := xrand.NewZipf(xrand.New(p.Seed).Derive(771), w.ZipfS, w.Tenants)
+	w.tenant = make([]int32, len(w.schedule))
+	for i, at := range w.schedule {
+		w.tenant[i] = int32((w.hotBase(at) + zipf.Rank()) % w.Tenants)
+	}
+
+	// Sticky tenant routing: primary worker by tenant hash, replica half
+	// the pool away (cross-node under blocked placement), alternating by
+	// request parity — every tenant's objects get two accessor threads.
+	half := p.Threads / 2
+	if half == 0 {
+		half = 1
+	}
+	byWorker := make([][]int, p.Threads)
+	for i := range w.schedule {
+		worker := int(w.tenant[i]) % p.Threads
+		if i&1 == 1 {
+			worker = (worker + half) % p.Threads
+		}
+		byWorker[worker] = append(byWorker[worker], i)
+	}
+
+	placement := p.placement(k.NumNodes())
+	parties := barrierParties(p)
+
+	mHandle := &stack.Method{Name: "ServeMix.handle"}
+	mRPC := &stack.Method{Name: "ServeMix.rpc"}
+	mStore := &stack.Method{Name: "ServeMix.store"}
+
+	for tid := 0; tid < p.Threads; tid++ {
+		tid := tid
+		reqs := byWorker[tid]
+		rng := xrand.New(p.Seed).Derive(uint64(tid) + 6211)
+		k.SpawnThread(placement[tid], fmt.Sprintf("serve-%d", tid), func(t *gos.Thread) {
+			// Bootstrap: worker 0 loads every session and cache entry, so
+			// all homes start on its node — the centralized placement the
+			// closed-loop policy exists to fix.
+			if tid == 0 {
+				var prev *heap.Object
+				for i := 0; i < w.Tenants; i++ {
+					o := t.Alloc(sessClass)
+					if prev != nil {
+						prev.Refs[0] = o
+					}
+					prev = o
+					w.sessions[i] = o
+					t.Write(o)
+					for c := 0; c < w.CachePerTenant; c++ {
+						e := t.Alloc(cacheClass)
+						if c == 0 {
+							o.Refs[1] = e
+						}
+						w.caches[i*w.CachePerTenant+c] = e
+						t.Write(e)
+					}
+				}
+				w.config = t.Alloc(confClass)
+				t.Write(w.config)
+			}
+			t.Barrier(0, parties)
+
+			for _, i := range reqs {
+				at := w.schedule[i]
+				t.SleepUntil(at)
+				tenant := int(w.tenant[i])
+				sess := w.sessions[tenant]
+
+				f := t.Stack.Push(mHandle, 1)
+				f.SetRef(0, sess)
+				t.Acquire(serveLockBase + tenant%w.Locks)
+				t.Read(sess)
+				t.Compute(w.FrontCost)
+				for b := 0; b < w.FanOut; b++ {
+					fr := t.Stack.Push(mRPC, 1)
+					idx := tenant*w.CachePerTenant + rng.Intn(w.CachePerTenant)
+					entry := w.caches[idx]
+					fr.SetRef(0, entry)
+					st := t.Stack.Push(mStore, 1)
+					st.SetRef(0, entry)
+					if rng.Float64() < w.WriteFraction {
+						t.Write(entry)
+					} else {
+						t.Read(entry)
+					}
+					if rng.Float64() < 0.05 {
+						t.Read(w.config) // shared config refresh
+					}
+					t.Stack.Pop()
+					t.Compute(w.BackendCost)
+					t.Stack.Pop()
+				}
+				t.Write(sess) // session state update
+				t.Release(serveLockBase + tenant%w.Locks)
+				t.Stack.Pop()
+
+				w.state.record(t.Now() - at)
+			}
+		})
+	}
+}
+
+// --- open-loop serving statistics -------------------------------------------
+
+// ServeStats is the open-loop serving view surfaced in epoch snapshots:
+// request progress, in-flight depth, goodput, and tail latency measured on
+// the simulated clock (arrival to completion, so queueing delay counts).
+type ServeStats struct {
+	// Arrived counts requests whose scheduled arrival is <= now; Completed
+	// counts requests served; InFlight is the backlog (queued + in
+	// service) at now.
+	Arrived, Completed, InFlight int
+	// GoodputPerSec is completed requests per simulated second so far.
+	GoodputPerSec float64
+	// Latency percentiles (nearest-rank) and maximum over all completed
+	// requests, on the simulated clock.
+	LatencyP50, LatencyP95, LatencyP99, LatencyMax sim.Time
+}
+
+func (s *ServeStats) String() string {
+	return fmt.Sprintf("arrived %d done %d inflight %d goodput %.0f/s p50 %v p95 %v p99 %v max %v",
+		s.Arrived, s.Completed, s.InFlight, s.GoodputPerSec,
+		s.LatencyP50, s.LatencyP95, s.LatencyP99, s.LatencyMax)
+}
+
+// serveState accumulates completions; recording appends in completion
+// order, percentile queries sort a reusable scratch copy.
+type serveState struct {
+	latencies []sim.Time
+	scratch   []sim.Time
+	maxLat    sim.Time
+}
+
+func (st *serveState) reset(capacity int) {
+	st.latencies = make([]sim.Time, 0, capacity)
+	st.scratch = nil
+	st.maxLat = 0
+}
+
+func (st *serveState) record(lat sim.Time) {
+	if lat < 0 {
+		lat = 0
+	}
+	st.latencies = append(st.latencies, lat)
+	if lat > st.maxLat {
+		st.maxLat = lat
+	}
+}
+
+// percentile returns the nearest-rank q-th percentile of sorted.
+func percentile(sorted []sim.Time, q float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.9999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ServeStatsInto fills dst (allocating when nil) with the serving view as
+// of virtual time now. The sort scratch is reused across calls, so the
+// boundary snapshot path allocates only on growth.
+func (w *ServeMix) ServeStatsInto(dst *ServeStats, now sim.Time) *ServeStats {
+	if dst == nil {
+		dst = &ServeStats{}
+	}
+	arrived := sort.Search(len(w.schedule), func(i int) bool { return w.schedule[i] > now })
+	done := len(w.state.latencies)
+	*dst = ServeStats{
+		Arrived:    arrived,
+		Completed:  done,
+		InFlight:   arrived - done,
+		LatencyMax: w.state.maxLat,
+	}
+	if done == 0 {
+		return dst
+	}
+	if now > 0 {
+		dst.GoodputPerSec = float64(done) / now.Seconds()
+	}
+	if cap(w.state.scratch) < done {
+		w.state.scratch = make([]sim.Time, done)
+	}
+	s := w.state.scratch[:done]
+	copy(s, w.state.latencies)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	dst.LatencyP50 = percentile(s, 0.50)
+	dst.LatencyP95 = percentile(s, 0.95)
+	dst.LatencyP99 = percentile(s, 0.99)
+	return dst
+}
+
+// OpenLoop is implemented by workloads driven by an external arrival
+// schedule instead of a closed iteration loop. The session layer uses it
+// to install scenario-generated schedules at launch and to surface serving
+// statistics in epoch snapshots.
+type OpenLoop interface {
+	Workload
+	SetSchedule([]sim.Time)
+	HasSchedule() bool
+	ServeStatsInto(dst *ServeStats, now sim.Time) *ServeStats
+}
+
+var _ OpenLoop = (*ServeMix)(nil)

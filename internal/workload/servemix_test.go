@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"jessica2/internal/sim"
+)
+
+func TestServePercentileNearestRank(t *testing.T) {
+	lat := make([]sim.Time, 100)
+	for i := range lat {
+		lat[i] = sim.Time(i+1) * sim.Microsecond
+	}
+	cases := []struct {
+		q    float64
+		want sim.Time
+	}{
+		{0.50, 50 * sim.Microsecond},
+		{0.95, 95 * sim.Microsecond},
+		{0.99, 99 * sim.Microsecond},
+		{1.00, 100 * sim.Microsecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lat, c.q); got != c.want {
+			t.Errorf("percentile(1..100us, %v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	one := []sim.Time{7 * sim.Microsecond}
+	if got := percentile(one, 0.99); got != one[0] {
+		t.Errorf("percentile(single, 0.99) = %v, want %v", got, one[0])
+	}
+}
+
+// TestServeStatsIntoMidRun checks the mid-run view: arrivals counted by
+// schedule position, completions by recorded latencies, in-flight the
+// difference — the numbers the epoch snapshot surfaces while requests are
+// still queued.
+func TestServeStatsIntoMidRun(t *testing.T) {
+	w := NewServeMix()
+	w.SetSchedule([]sim.Time{
+		1 * sim.Millisecond, 2 * sim.Millisecond,
+		3 * sim.Millisecond, 10 * sim.Millisecond,
+	})
+	w.state.reset(4)
+	w.state.record(100 * sim.Microsecond)
+	w.state.record(300 * sim.Microsecond)
+
+	st := w.ServeStatsInto(nil, 5*sim.Millisecond)
+	if st.Arrived != 3 || st.Completed != 2 || st.InFlight != 1 {
+		t.Fatalf("mid-run stats = arrived %d done %d inflight %d, want 3/2/1",
+			st.Arrived, st.Completed, st.InFlight)
+	}
+	if st.LatencyP50 != 100*sim.Microsecond || st.LatencyMax != 300*sim.Microsecond {
+		t.Fatalf("mid-run latency p50 %v max %v", st.LatencyP50, st.LatencyMax)
+	}
+	if st.GoodputPerSec != 400 { // 2 completions in 5 simulated ms
+		t.Fatalf("goodput = %v, want 400/s", st.GoodputPerSec)
+	}
+
+	// Scratch reuse: a second fill into the same dst must not allocate a
+	// fresh view or disturb the numbers.
+	again := w.ServeStatsInto(st, 5*sim.Millisecond)
+	if again != st || again.Completed != 2 {
+		t.Fatal("ServeStatsInto did not reuse dst")
+	}
+}

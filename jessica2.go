@@ -198,6 +198,15 @@ type (
 	LU = workload.LU
 	// KVMix is the phase-shifting key-value transaction mix.
 	KVMix = workload.KVMix
+	// ServeMix is the open-loop RPC request-serving workload: zipf-skewed
+	// tenants, fan-out call graphs over shared session/cache objects, and
+	// an injected arrival schedule (Scenario.Arrivals or SetSchedule).
+	ServeMix = workload.ServeMix
+	// ServeStats is the open-loop serving view (arrivals, goodput,
+	// in-flight depth, latency percentiles) surfaced in Snapshot.Serve.
+	ServeStats = workload.ServeStats
+	// OpenLoop is the interface schedule-driven workloads implement.
+	OpenLoop = workload.OpenLoop
 )
 
 // Workload constructors (paper-scale defaults).
@@ -210,6 +219,7 @@ var (
 	NewLU           = workload.NewLU
 	NewLUSmall      = workload.NewLUSmall
 	NewKVMix        = workload.NewKVMix
+	NewServeMix     = workload.NewServeMix
 )
 
 // --- scenario engine ---------------------------------------------------------
@@ -243,6 +253,23 @@ type (
 	ScenarioCrash     = scenario.Crash
 	ScenarioPartition = scenario.Partition
 	ScenarioFlushLoss = scenario.FlushLoss
+)
+
+// Arrivals is the open-loop traffic vocabulary of a Scenario: a
+// seed-deterministic Poisson, diurnal or burst arrival schedule that the
+// session materializes into request arrival times for open-loop workloads
+// (ServeMix). Same seed ⇒ byte-identical schedule; see scenario/arrivals.go
+// and the "poisson", "diurnal" and "burst" presets.
+type (
+	Arrivals    = scenario.Arrivals
+	ArrivalKind = scenario.ArrivalKind
+)
+
+// Arrival kinds.
+const (
+	ArrivePoisson = scenario.ArrivePoisson
+	ArriveDiurnal = scenario.ArriveDiurnal
+	ArriveBurst   = scenario.ArriveBurst
 )
 
 // ScenarioPreset builds one of the named built-in scenarios; ParseScenario
@@ -473,6 +500,11 @@ func NewSession(cfg Config) *Session {
 		Epoch:    cfg.Epoch,
 	})}
 }
+
+// Err returns the sticky configuration error, if any — an invalid scenario
+// spec surfaces here (and from the first Launch/Step/Run) rather than
+// silently misbehaving mid-run.
+func (s *Session) Err() error { return s.s.Err() }
 
 // Kernel exposes the underlying DJVM (advanced use: allocation, custom
 // threads, migration). Nil until construction succeeded.

@@ -33,6 +33,28 @@ func TestSystemEndToEnd(t *testing.T) {
 	}
 }
 
+// TestConfigRejectsInvalidScenario: an invalid scenario spec handed to the
+// public Config wiring surfaces as a sticky session error at construction,
+// before anything runs.
+func TestConfigRejectsInvalidScenario(t *testing.T) {
+	bad := map[string]*jessica2.Scenario{
+		"flush-loss-mass": {FlushLoss: &jessica2.ScenarioFlushLoss{DropProb: 0.8, DupProb: 0.8}},
+		"restart-before-crash": {Crashes: []jessica2.ScenarioCrash{
+			{Node: 1, At: 200 * jessica2.Millisecond, Restart: 100 * jessica2.Millisecond}}},
+		"partition-empty-group": {Partitions: []jessica2.ScenarioPartition{
+			{At: jessica2.Millisecond, Duration: jessica2.Millisecond}}},
+		"arrivals-zero-rate": {Arrivals: &jessica2.Arrivals{Kind: jessica2.ArrivePoisson, Horizon: jessica2.Second}},
+	}
+	for name, sc := range bad {
+		cfg := jessica2.DefaultConfig()
+		cfg.Scenario = sc
+		s := jessica2.NewSession(cfg)
+		if s.Err() == nil {
+			t.Errorf("%s: invalid scenario accepted by NewSession", name)
+		}
+	}
+}
+
 func TestSystemLifecyclePanics(t *testing.T) {
 	sys := jessica2.New(jessica2.DefaultConfig())
 	sys.Launch(quickSOR(), jessica2.Params{Threads: 4, Seed: 1})
