@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test test-race test-tcmfull test-chaos test-serve bench bench-seq demo-closedloop demo-serve clean
+.PHONY: verify build vet test test-race test-tcmfull test-chaos test-serve test-profile bench bench-seq demo-closedloop demo-serve clean
 
 verify: build vet test
 
@@ -40,6 +40,21 @@ test-chaos:
 test-serve:
 	go test -race -count=1 -run 'ServeMix|Arrivals|FigT|Controller' . ./internal/workload/ ./internal/scenario/ ./internal/experiments/ ./internal/sampling/
 	go run ./cmd/djvmbench -figT -scale $(SCALE)
+
+# test-profile is the profile-store gauntlet: the codec round-trip,
+# corruption and fuzz-corpus tests, the warm-start policy and session
+# integration suite (fingerprint mismatch, Save-armed golden identity),
+# and the Figure W assertion (warm start must strictly cut convergence
+# epochs and profiling charge with quality inside the epsilons; non-zero
+# exit otherwise) — race detector on the test half, then a djvmrun
+# -profile-out -> -profile-in round trip through a scratch file.
+test-profile:
+	go test -race -count=1 -run 'Profile|WarmStart|FigW|Divergence|SeedMap|FixedCells' . ./internal/profile/ ./internal/session/ ./internal/tcm/ ./internal/experiments/ ./cmd/djvmrun/ ./cmd/tcmviz/
+	go run ./cmd/djvmbench -figW -scale $(SCALE)
+	go run ./cmd/djvmrun -app kv -scenario phased -policy rebalance -epoch 10ms -tcm=false -profile-out /tmp/j2_ci_kv.j2pf
+	go run ./cmd/djvmrun -app kv -scenario phased -policy warmstart -epoch 10ms -tcm=false -profile-in /tmp/j2_ci_kv.j2pf
+	go run ./cmd/tcmviz -profile /tmp/j2_ci_kv.j2pf
+	rm -f /tmp/j2_ci_kv.j2pf
 
 # test-tcmfull reruns the suite with the legacy full-rebuild TCM builder
 # selected (the incremental builder's oracle); the equivalence property

@@ -88,6 +88,7 @@ func benchCases(sc experiments.Scale, p *runner.Pool) []struct {
 		{"FigCL", func() { experiments.FigCL(sc, p) }},
 		{"FigR", func() { experiments.FigR(sc, p) }},
 		{"FigT", func() { experiments.FigT(sc, p) }},
+		{"FigW", func() { experiments.FigW(sc, p) }},
 		// EpochSnapshot is the closed-loop epoch-rate probe: one KVMix/phased
 		// run at fixed 2 ms epochs, every boundary paying the snapshot path
 		// the incremental TCM maintenance feeds.
@@ -146,6 +147,7 @@ func main() {
 		figCL     = flag.Bool("figCL", false, "regenerate Figure CL (closed-loop adaptation sweep)")
 		figR      = flag.Bool("figR", false, "regenerate Figure R (failure resilience sweep); exits non-zero if recovery does not win")
 		figT      = flag.Bool("figT", false, "regenerate Figure T (open-loop tail-latency sweep); exits non-zero if closed-loop placement does not win on P99")
+		figW      = flag.Bool("figW", false, "regenerate Figure W (profile-guided warm-start sweep); exits non-zero if warm start does not cut convergence epochs and profiling charge")
 		all       = flag.Bool("all", false, "regenerate everything")
 		scale     = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -167,7 +169,7 @@ func main() {
 		fmt.Println("wrote", *benchjson)
 		return
 	}
-	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL && !*figR && !*figT {
+	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL && !*figR && !*figT && !*figW {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -241,6 +243,22 @@ func main() {
 			if vs := res.Violations(); len(vs) > 0 {
 				for _, v := range vs {
 					fmt.Fprintln(os.Stderr, "djvmbench: figT violation:", v)
+				}
+				os.Exit(1)
+			}
+		})
+	}
+	if *all || *figW {
+		run("Figure W", func() {
+			res := experiments.FigW(sc, pool)
+			emit(res.Table())
+			// Figure W doubles as an assertion: the warm start must strictly
+			// cut convergence epochs and profiling charge on the closed-loop
+			// application and the charge on the open-loop one, with quality
+			// inside the figure's epsilons.
+			if vs := res.Violations(); len(vs) > 0 {
+				for _, v := range vs {
+					fmt.Fprintln(os.Stderr, "djvmbench: figW violation:", v)
 				}
 				os.Exit(1)
 			}

@@ -12,6 +12,17 @@
 //	djvmrun -app kv -scenario phased -policy rebalance -epochs 8
 //	djvmrun -app kv -scenario crash -recover -policy rebalance
 //	djvmrun -app serve -scenario diurnal -policy rebalance -epoch 125ms
+//	djvmrun -app kv -scenario phased -policy rebalance -profile-out kv.j2pf
+//	djvmrun -app kv -scenario phased -policy warmstart -profile-in kv.j2pf
+//
+// -profile-out saves the end-of-run profile (TCM, placement, hot-object
+// homes, rate trace) to the named file; -profile-in reloads one, applying
+// the stored placement before epoch 0 and seeding the TCM accumulator. A
+// profile recorded under a different app, cluster shape, seed or scenario
+// is rejected with a warning in the report and the run starts cold. The
+// warmstart policy drives the sampling rate from the live-vs-stored
+// divergence signal (floor rate while the run matches the profile, full
+// rate plus rebalancing when it drifts).
 //
 // -app serve is the open-loop request-serving workload: requests arrive on
 // a scenario-generated schedule (the poisson, diurnal and burst presets)
@@ -77,6 +88,12 @@ type runConfig struct {
 	parallel  int
 	scenSeed  uint64 // 0 = follow the workload seed
 	benchjson string // write a machine-readable run report to this file
+
+	profileIn  string // load a stored profile (warm start)
+	profileOut string // save the end-of-run profile
+	// loaded is the decoded -profile-in artifact, read once in execute so
+	// replicas share the immutable profile instead of re-reading the file.
+	loaded *jessica2.StoredProfile
 }
 
 // newWorkload instantiates the named benchmark (fresh instance per call so
@@ -103,8 +120,9 @@ func newWorkload(app string) (jessica2.Workload, error) {
 	return nil, fmt.Errorf("unknown app %q", app)
 }
 
-// newPolicy resolves a -policy name.
-func newPolicy(name string) (jessica2.Policy, error) {
+// newPolicy resolves a -policy name; prof is the -profile-in artifact the
+// warmstart policy replays (nil degrades it to a rebalance proxy).
+func newPolicy(name string, prof *jessica2.StoredProfile) (jessica2.Policy, error) {
 	switch strings.ToLower(name) {
 	case "", "none", "off":
 		return nil, nil
@@ -112,8 +130,10 @@ func newPolicy(name string) (jessica2.Policy, error) {
 		return jessica2.NopPolicy{}, nil
 	case "rebalance":
 		return jessica2.NewRebalancePolicy(), nil
+	case "warmstart":
+		return jessica2.NewWarmStartPolicy(prof), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q (have none, nop, rebalance)", name)
+	return nil, fmt.Errorf("unknown policy %q (have none, nop, rebalance, warmstart)", name)
 }
 
 // parseArgs parses and validates a full command line (excluding argv[0]).
@@ -140,6 +160,8 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		seeds     = fs.Int("seeds", 1, "replicate the run over N consecutive seeds")
 		parallel  = fs.Int("parallel", 0, "worker pool for -seeds replicas (0 = GOMAXPROCS, 1 = sequential)")
 		benchjson = fs.String("benchjson", "", "write a machine-readable run report (exec times, wall clock, TCM builder variant) to this file")
+		profIn    = fs.String("profile-in", "", "load a stored profile for a warm start (placement applied before epoch 0, TCM seeded; mismatched fingerprints fall back to cold with a warning)")
+		profOut   = fs.String("profile-out", "", "save the end-of-run profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -151,6 +173,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		policyTag: strings.ToLower(*policy),
 		epochs:    *epochs, epoch: jessica2.Time(epoch.Nanoseconds()),
 		seeds: *seeds, parallel: *parallel, benchjson: *benchjson,
+		profileIn: *profIn, profileOut: *profOut,
 	}
 	if _, err := newWorkload(rc.app); err != nil {
 		return nil, err
@@ -184,7 +207,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 	if _, err := jessica2.ParseScenario(rc.scenSpec, rc.nodes, ss); err != nil {
 		return nil, err
 	}
-	pol, err := newPolicy(rc.policyTag)
+	pol, err := newPolicy(rc.policyTag, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +219,9 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 	}
 	if rc.seeds < 1 {
 		return nil, fmt.Errorf("-seeds must be at least 1, got %d", rc.seeds)
+	}
+	if rc.profileOut != "" && rc.seeds > 1 {
+		return nil, fmt.Errorf("-profile-out captures one run's profile; incompatible with -seeds %d", rc.seeds)
 	}
 	if rc.parallel < 0 {
 		return nil, fmt.Errorf("negative -parallel")
@@ -233,7 +259,7 @@ func (rc *runConfig) ensureArrivals(scen *jessica2.Scenario, seed uint64) *jessi
 // closed-loop controller (nil = plain run) with the given epoch length.
 // Scenario, policy and seed are per-run arguments because -seeds replicas
 // run concurrently and must not share stateful instances.
-func (rc *runConfig) buildSession(scen *jessica2.Scenario, policy jessica2.Policy, seed uint64, epoch jessica2.Time) (*jessica2.Session, *jessica2.Profiler, error) {
+func (rc *runConfig) buildSession(scen *jessica2.Scenario, policy jessica2.Policy, seed uint64, epoch jessica2.Time, pio jessica2.ProfileIO) (*jessica2.Session, *jessica2.Profiler, error) {
 	cfg := jessica2.DefaultConfig()
 	cfg.Nodes = rc.nodes
 	cfg.Epoch = epoch
@@ -241,6 +267,7 @@ func (rc *runConfig) buildSession(scen *jessica2.Scenario, policy jessica2.Polic
 		cfg.Tracking = jessica2.TrackingOff
 	}
 	cfg.Scenario = scen
+	cfg.Profile = pio
 	if rc.recover {
 		cfg.Failure = jessica2.DefaultFailureConfig()
 	}
@@ -301,6 +328,13 @@ type runReport struct {
 // JSON report.
 func (rc *runConfig) execute(out io.Writer) error {
 	start := time.Now()
+	if rc.profileIn != "" {
+		prof, err := jessica2.LoadProfile(rc.profileIn)
+		if err != nil {
+			return fmt.Errorf("-profile-in %s: %w", rc.profileIn, err)
+		}
+		rc.loaded = prof
+	}
 	execs := make([]jessica2.Time, rc.seeds)
 	if rc.seeds == 1 {
 		var err error
@@ -372,7 +406,7 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) (jessica2.Time, error) 
 		return 0, err
 	}
 	scen = rc.ensureArrivals(scen, ss)
-	policy, err := newPolicy(rc.policyTag)
+	policy, err := newPolicy(rc.policyTag, rc.loaded)
 	if err != nil {
 		return 0, err
 	}
@@ -384,7 +418,9 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) (jessica2.Time, error) 
 	epoch := rc.epoch
 	if policy != nil && epoch <= 0 {
 		// Pilot run: measure the baseline to calibrate the epoch length.
-		pilot, _, err := rc.buildSession(scen, nil, seed, 0)
+		// The pilot never loads or saves a profile — the calibration must
+		// reflect the plain cold baseline.
+		pilot, _, err := rc.buildSession(scen, nil, seed, 0, jessica2.ProfileIO{})
 		if err != nil {
 			return 0, err
 		}
@@ -400,7 +436,8 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) (jessica2.Time, error) 
 			rep.ExecTime(), epoch, rc.epochs)
 	}
 
-	sess, prof, err := rc.buildSession(scen, policy, seed, epoch)
+	sess, prof, err := rc.buildSession(scen, policy, seed, epoch,
+		jessica2.ProfileIO{Load: rc.loaded, Save: rc.profileOut != ""})
 	if err != nil {
 		return 0, err
 	}
@@ -414,6 +451,24 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) (jessica2.Time, error) 
 	}
 	fmt.Fprintf(out, "%s on %d nodes, %d threads (scenario: %s)\n\n%s\n",
 		w.Name(), rc.nodes, rc.threads, scenName, rep)
+
+	if warn := sess.ProfileWarning(); warn != "" {
+		fmt.Fprintf(out, "warning: %s\n\n", warn)
+	} else if rc.loaded != nil {
+		fmt.Fprintf(out, "warm start from %s: %d hot-object homes, %d stored decisions replayable (fingerprint %s)\n\n",
+			rc.profileIn, len(rc.loaded.HotHomes), len(rc.loaded.Decisions), rc.loaded.Fingerprint)
+	}
+	if rc.profileOut != "" {
+		stored, err := sess.CapturedProfile()
+		if err != nil {
+			return 0, fmt.Errorf("capturing profile: %w", err)
+		}
+		if err := jessica2.SaveProfile(rc.profileOut, stored); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "profile saved to %s: %d TCM threads, %d hot-object homes, %d decisions (fingerprint %s)\n\n",
+			rc.profileOut, stored.TCMThreads, len(stored.HotHomes), len(stored.Decisions), stored.Fingerprint)
+	}
 
 	if snap := sess.Snapshot(); snap.Serve != nil {
 		fmt.Fprintf(out, "open-loop serving: %s\n\n", snap.Serve)

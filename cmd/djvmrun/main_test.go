@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestParseAppScenarioPolicyEpochCombos(t *testing.T) {
 	if rc.app != "kv" || rc.scenSpec != "phased" || rc.policyTag != "rebalance" || rc.epochs != 8 {
 		t.Fatalf("combo: %+v", rc)
 	}
-	if p, err := newPolicy(rc.policyTag); err != nil || p.Name() != "rebalance" {
+	if p, err := newPolicy(rc.policyTag, nil); err != nil || p.Name() != "rebalance" {
 		t.Fatalf("policy: %v err=%v", p, err)
 	}
 
@@ -54,7 +55,7 @@ func TestParseAppScenarioPolicyEpochCombos(t *testing.T) {
 	if err != nil {
 		t.Fatalf("none: err=%v", err)
 	}
-	if p, _ := newPolicy(rc.policyTag); p != nil {
+	if p, _ := newPolicy(rc.policyTag, nil); p != nil {
 		t.Fatalf("none resolved to policy %v", p)
 	}
 }
@@ -72,6 +73,7 @@ func TestParseRejections(t *testing.T) {
 		"zero seeds":           {"-seeds", "0"},
 		"negative seeds":       {"-seeds", "-2"},
 		"negative parallel":    {"-parallel", "-1"},
+		"profile-out + seeds":  {"-profile-out", "x.j2pf", "-seeds", "2"},
 	}
 	for name, args := range cases {
 		if _, err := parse(t, args...); err == nil {
@@ -179,5 +181,70 @@ func TestExecuteClosedLoopSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestExecuteProfileRoundTrip: -profile-out saves a loadable profile whose
+// warm reload (-profile-in, warmstart policy) reports the warm-start line
+// and spends fewer correlation logs than the capture run; loading it under
+// a different seed degrades to a cold start with the mismatch warning and
+// no error.
+func TestExecuteProfileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/kv.j2pf"
+	base := []string{
+		"-app", "kv", "-scenario", "phased", "-threads", "4", "-nodes", "2",
+		"-epoch", "20ms", "-tcm=false",
+	}
+	run := func(extra ...string) string {
+		rc, err := parse(t, append(append([]string(nil), base...), extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := rc.execute(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	corrLogs := func(out string) int {
+		for _, line := range strings.Split(out, "\n") {
+			if rest, ok := strings.CutPrefix(line, "correlation logs:"); ok {
+				n, err := strconv.Atoi(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("bad correlation-logs line %q: %v", line, err)
+				}
+				return n
+			}
+		}
+		t.Fatalf("no correlation-logs line in:\n%s", out)
+		return 0
+	}
+
+	cold := run("-policy", "rebalance", "-profile-out", path)
+	if !strings.Contains(cold, "profile saved to "+path) {
+		t.Fatalf("capture run did not report the save:\n%s", cold)
+	}
+	prof, err := jessica2.LoadProfile(path)
+	if err != nil {
+		t.Fatalf("saved profile does not load: %v", err)
+	}
+	if prof.Fingerprint.Workload != "KVMix" || prof.Fingerprint.Seed != 42 {
+		t.Fatalf("fingerprint = %+v", prof.Fingerprint)
+	}
+
+	warm := run("-policy", "warmstart", "-profile-in", path)
+	if !strings.Contains(warm, "warm start from "+path) {
+		t.Fatalf("warm run did not report the load:\n%s", warm)
+	}
+	if strings.Contains(warm, "warning:") {
+		t.Fatalf("matching profile produced a warning:\n%s", warm)
+	}
+	if cl, wl := corrLogs(cold), corrLogs(warm); wl >= cl {
+		t.Errorf("warm run logged %d correlations, capture run %d — the floor rate never engaged", wl, cl)
+	}
+
+	mismatch := run("-policy", "warmstart", "-profile-in", path, "-seed", "7")
+	if !strings.Contains(mismatch, "warning: profile fingerprint mismatch") {
+		t.Fatalf("mismatched profile produced no warning:\n%s", mismatch)
 	}
 }

@@ -6,6 +6,11 @@
 //
 //	tcmviz -app bh -threads 32            # paper's Fig. 1 setting
 //	tcmviz -app sor -threads 16 -scale 4  # quick look at SOR's band
+//	tcmviz -profile kv.j2pf               # TCM stored by djvmrun -profile-out
+//
+// -profile renders the correlation map persisted in a profile-store file
+// (djvmrun -profile-out) instead of running a workload: the stored
+// fingerprint, the heat map, and the profile's placement inventory.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"jessica2/internal/experiments"
 	"jessica2/internal/gos"
+	"jessica2/internal/profile"
 )
 
 // vizConfig is one fully parsed and validated invocation.
@@ -26,6 +32,9 @@ type vizConfig struct {
 	nodes   int
 	scale   int
 	seed    uint64
+	// profilePath switches from running a workload to rendering the TCM
+	// stored in a profile file.
+	profilePath string
 }
 
 // parseArgs parses and validates a full command line (excluding argv[0]).
@@ -38,11 +47,12 @@ func parseArgs(args []string, errOut io.Writer) (*vizConfig, error) {
 		nodes   = fs.Int("nodes", 8, "cluster nodes")
 		scale   = fs.Int("scale", 1, "dataset divisor (1 = paper scale)")
 		seed    = fs.Uint64("seed", 42, "workload seed")
+		prof    = fs.String("profile", "", "render the TCM stored in this profile file instead of running a workload")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	vc := &vizConfig{threads: *threads, nodes: *nodes, scale: *scale, seed: *seed}
+	vc := &vizConfig{threads: *threads, nodes: *nodes, scale: *scale, seed: *seed, profilePath: *prof}
 	switch strings.ToLower(*app) {
 	case "sor":
 		vc.app = experiments.AppSOR
@@ -66,8 +76,21 @@ func parseArgs(args []string, errOut io.Writer) (*vizConfig, error) {
 }
 
 // execute runs the configured workload under exact + page-based tracking
-// and renders both heat maps to out.
+// and renders both heat maps to out; in -profile mode it instead renders
+// the stored map and placement inventory of a profile-store file.
 func (vc *vizConfig) execute(out io.Writer) error {
+	if vc.profilePath != "" {
+		p, err := profile.Load(vc.profilePath)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", vc.profilePath, err)
+		}
+		fmt.Fprintf(out, "%s: stored profile (format v%d)\n", vc.profilePath, profile.Version)
+		fmt.Fprintf(out, "fingerprint: %s\n", p.Fingerprint)
+		fmt.Fprintf(out, "placement: %d threads, %d hot-object homes, %d decisions, %d rate changes\n\n",
+			p.TCMThreads, len(p.HotHomes), len(p.Decisions), len(p.RateTrace))
+		fmt.Fprintf(out, "stored thread correlation map (%d threads)\n%s", p.TCMThreads, p.TCM())
+		return nil
+	}
 	o := experiments.Run(experiments.Spec{
 		App: vc.app, Scale: experiments.Scale(vc.scale),
 		Nodes: vc.nodes, Threads: vc.threads, Seed: vc.seed,

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"errors"
 	"io"
+	"os"
 	"strings"
 	"testing"
 
 	"jessica2/internal/experiments"
+	"jessica2/internal/profile"
 )
 
 func parse(t *testing.T, args ...string) (*vizConfig, error) {
@@ -104,5 +107,82 @@ func TestSmokeRendersBothMaps(t *testing.T) {
 	}
 	if sb2.String() != out {
 		t.Error("same-seed reruns rendered different maps")
+	}
+}
+
+// TestParseProfileFlag: -profile switches to stored-profile rendering and
+// coexists with (ignored) workload flags.
+func TestParseProfileFlag(t *testing.T) {
+	vc, err := parse(t, "-profile", "some.j2pf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.profilePath != "some.j2pf" {
+		t.Fatalf("profilePath = %q", vc.profilePath)
+	}
+	if vc, err := parse(t); err != nil || vc.profilePath != "" {
+		t.Fatalf("default profilePath = %q, err=%v", vc.profilePath, err)
+	}
+}
+
+// TestSmokeRendersStoredProfile drives the -profile mode end to end on a
+// synthetic saved profile: fingerprint, inventory and a heat-map row per
+// stored thread.
+func TestSmokeRendersStoredProfile(t *testing.T) {
+	path := t.TempDir() + "/p.j2pf"
+	stored := &profile.Profile{
+		Fingerprint: profile.Fingerprint{Workload: "KVMix", Scenario: "phased", Nodes: 2, Threads: 4, Seed: 7},
+		TCMThreads:  4,
+		TCMCells: []int64{
+			0, 4096, 0, 0,
+			4096, 0, 0, 0,
+			0, 0, 0, 8192,
+			0, 0, 8192, 0,
+		},
+		HotHomes: []profile.HotHome{{Key: 3, Home: 1}, {Key: 9, Home: 0}},
+	}
+	if err := profile.Save(path, stored); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := parse(t, "-profile", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := vc.execute(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"stored profile (format v1)",
+		"fingerprint: KVMix nodes=2 threads=4 seed=7 scenario=phased",
+		"2 hot-object homes",
+		"stored thread correlation map (4 threads)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) == 4 && strings.Trim(line, " .:-=+*#%@") == "" {
+			rows++
+		}
+	}
+	if rows != 4 {
+		t.Errorf("expected 4 heat-map rows, found %d:\n%s", rows, out)
+	}
+
+	// A corrupt file must surface the codec's typed error, not a panic.
+	bad := t.TempDir() + "/bad.j2pf"
+	if err := os.WriteFile(bad, []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vc, err = parse(t, "-profile", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vc.execute(io.Discard); !errors.Is(err, profile.ErrBadMagic) {
+		t.Fatalf("corrupt profile error = %v, want ErrBadMagic", err)
 	}
 }

@@ -199,6 +199,16 @@ func (m *Master) DecayThreads(threads []int, factor float64) {
 	m.ensureBuilder().DecayThreads(threads, factor)
 }
 
+// SeedMap pre-loads the analyzer's accumulator with a prior run's
+// correlation map — the profile-guided warm start. Seeding is prior
+// knowledge, not measurement: it charges no analyzer CPU and leaves the
+// Build cost ledger untouched. A documented no-op under `-tags tcmfull`
+// (the legacy builder rebuilds from raw per-object history, which seeded
+// pair-level volume cannot join), mirroring DecayThreads.
+func (m *Master) SeedMap(mp *tcm.Map) {
+	m.ensureBuilder().SeedMap(mp)
+}
+
 // ResetWindow clears ingested state for a fresh profiling window.
 func (m *Master) ResetWindow() {
 	if m.builder != nil {

@@ -68,6 +68,15 @@ type Snapshot struct {
 	// never see the field move. Boundary snapshots alias session scratch
 	// like the other views.
 	Serve *workload.ServeStats
+	// Divergence compares the live incremental TCM against a warm-start
+	// profile's stored map: the total-variation distance of the two
+	// shape-normalized maps, in [0, 1] (0 = the live run shares exactly the
+	// stored correlation structure, 1 = disjoint structure). An empty live
+	// map reads 0 — no evidence of divergence yet — so warm runs are not
+	// spooked before sampling accrues. −1 when no profile was loaded (or
+	// for passive policies, which build no TCM); the zero value would read
+	// as "perfect match".
+	Divergence float64
 }
 
 // HotObject is one newly shared object in a snapshot.

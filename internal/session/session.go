@@ -13,6 +13,7 @@ package session
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"jessica2/internal/balancer"
 	"jessica2/internal/core"
@@ -20,6 +21,7 @@ import (
 	"jessica2/internal/heap"
 	"jessica2/internal/migration"
 	"jessica2/internal/network"
+	"jessica2/internal/profile"
 	"jessica2/internal/scenario"
 	"jessica2/internal/sim"
 	"jessica2/internal/sticky"
@@ -50,6 +52,26 @@ type Config struct {
 	// Epoch is the default stepping period used by Run and RunUntil when a
 	// policy is installed (Step takes an explicit period instead).
 	Epoch sim.Time
+	// Profile configures profile persistence (see ProfileIO).
+	Profile ProfileIO
+}
+
+// ProfileIO wires a session to the profile store.
+type ProfileIO struct {
+	// Load, when non-nil, warm-starts the run from a stored profile. The
+	// profile's fingerprint must match the session's (workload, nodes,
+	// threads, seed, scenario); a mismatch degrades gracefully to a cold
+	// start, recorded as a warning (Session.ProfileWarning) — never as the
+	// sticky Session.Err. On a match the stored placement is applied
+	// before epoch 0 (zero-cost: threads spawn at their profiled nodes)
+	// and the master's TCM accumulator is seeded from the stored map (a
+	// no-op under `-tags tcmfull`, like TCM decay).
+	Load *profile.Profile
+	// Save arms end-of-run profile capture: once the run completes,
+	// Session.CapturedProfile assembles the artifact. Capture only reads
+	// state (uncharged peeks), so an armed session is byte-identical to an
+	// unarmed one — the profile golden-identity gate asserts this.
+	Save bool
 }
 
 // Session is one epoch-driven closed-loop run of the distributed JVM.
@@ -80,6 +102,18 @@ type Session struct {
 
 	// applied logs every policy action the session executed.
 	applied []AppliedAction
+
+	// Profile persistence state: fp is this run's fingerprint (built up
+	// across Launches), loaded is the accepted warm-start profile with its
+	// reconstructed map, loadWarning records a rejected load.
+	fp          profile.Fingerprint
+	loaded      *profile.Profile
+	loadedTCM   *tcm.Map
+	loadWarning string
+	// priorTCM is the map actually seeded into the live accumulator (nil
+	// under `-tags tcmfull`, where SeedMap is a no-op): the divergence
+	// signal subtracts it so the stored prior cannot drown out live drift.
+	priorTCM *tcm.Map
 
 	// Scratch reused across boundary snapshots: sessions pause at every
 	// epoch, and rebuilding the N×N map, rate trace and footprint views
@@ -184,10 +218,69 @@ func (s *Session) Launch(w workload.Workload, p workload.Params) error {
 		}
 		s.openLoops = append(s.openLoops, ol)
 	}
+	seedTCM := false
+	if len(s.loads) == 0 {
+		// First launch: fix the fingerprint and resolve a pending warm
+		// start against it. Later launches extend the fingerprint (so a
+		// capture is honest about what ran) but never re-trigger loading —
+		// a stored single-workload profile cannot speak for a composite
+		// session.
+		s.fp = profile.Fingerprint{
+			Workload: w.Name(),
+			Nodes:    s.k.NumNodes(),
+			Threads:  p.Threads,
+			Seed:     p.Seed,
+		}
+		if s.cfg.Scenario != nil {
+			s.fp.Scenario = s.cfg.Scenario.Name
+		}
+		if ld := s.cfg.Profile.Load; ld != nil {
+			if ld.Fingerprint.Match(s.fp) {
+				s.loaded = ld
+				s.loadedTCM = ld.TCM()
+				// Warm placement: spawn threads at their profiled nodes.
+				// The fingerprint match guarantees the stored assignment's
+				// dimension; an explicit caller placement wins.
+				if p.Placement == nil && len(ld.Assignment) == p.Threads {
+					p.Placement = append([]int(nil), ld.Assignment...)
+				}
+				seedTCM = len(ld.TCMCells) > 0
+			} else {
+				s.loadWarning = fmt.Sprintf(
+					"profile fingerprint mismatch: stored {%s} vs run {%s}; starting cold",
+					ld.Fingerprint, s.fp)
+			}
+		}
+	} else {
+		s.fp.Workload += "," + w.Name()
+		s.fp.Threads += p.Threads
+	}
 	w.Launch(s.k, p)
+	if seedTCM {
+		// Seed after the spawn so the master's builder sizes to the full
+		// thread count. Seeding is uncharged prior knowledge (and a no-op
+		// under -tags tcmfull, like TCM decay).
+		s.k.Master().SeedMap(s.loadedTCM)
+		if tcm.BuilderVariant() == "incremental" {
+			s.priorTCM = s.loadedTCM
+		}
+	}
 	s.loads = append(s.loads, w)
 	return nil
 }
+
+// Fingerprint returns the run's profile fingerprint (valid after the first
+// Launch).
+func (s *Session) Fingerprint() profile.Fingerprint { return s.fp }
+
+// LoadedProfile returns the accepted warm-start profile (nil when none was
+// configured or the fingerprint did not match).
+func (s *Session) LoadedProfile() *profile.Profile { return s.loaded }
+
+// ProfileWarning reports why a configured Profile.Load was rejected (""
+// when none was, or when it was accepted). A rejected load is a graceful
+// cold start, not a session error.
+func (s *Session) ProfileWarning() string { return s.loadWarning }
 
 // AttachProfiling wires the profiling subsystems. Call after Launch and
 // before the first step.
@@ -355,14 +448,14 @@ func (s *Session) boundary() {
 	if s.policy == nil {
 		return
 	}
-	profile := s.policy.NeedsProfile()
-	if profile {
+	wantProfile := s.policy.NeedsProfile()
+	if wantProfile {
 		// Incremental cluster-wide OAL flush: node 0 ingests locally and is
 		// visible in this epoch's snapshot; remote shipments arrive within
 		// the next epoch — the one-epoch profile lag of a real collector.
 		s.k.FlushAllOAL()
 	}
-	snap := s.snapshot(profile, true)
+	snap := s.snapshot(wantProfile, true)
 	for _, a := range s.policy.Observe(snap) {
 		if a == nil {
 			continue
@@ -381,7 +474,7 @@ func (s *Session) boundary() {
 // objects as surfaced).
 func (s *Session) Snapshot() *Snapshot {
 	if s.k == nil {
-		return &Snapshot{}
+		return &Snapshot{Divergence: -1}
 	}
 	return s.snapshot(true, false)
 }
@@ -390,7 +483,7 @@ func (s *Session) Snapshot() *Snapshot {
 // snapshots (handed transiently to Policy.Observe) reuse the session's
 // scratch buffers; ad-hoc snapshots allocate fresh views the caller may
 // keep.
-func (s *Session) snapshot(profile, boundary bool) *Snapshot {
+func (s *Session) snapshot(wantProfile, boundary bool) *Snapshot {
 	k := s.k
 	n := k.NumThreads()
 	var finished []bool
@@ -443,7 +536,8 @@ func (s *Session) snapshot(profile, boundary bool) *Snapshot {
 			snap.RateTrace, snap.Footprints = s.prof.LiveViews()
 		}
 	}
-	if !profile {
+	snap.Divergence = -1
+	if !wantProfile {
 		return snap
 	}
 	if boundary {
@@ -451,6 +545,9 @@ func (s *Session) snapshot(profile, boundary bool) *Snapshot {
 		s.scratchTCM = snap.TCM
 	} else {
 		snap.TCM = k.Master().Peek(n)
+	}
+	if s.loaded != nil {
+		snap.Divergence = profile.EvidenceDivergence(snap.TCM, s.priorTCM, s.loadedTCM)
 	}
 	snap.Hot = s.hotObjects(boundary)
 	return snap
@@ -523,4 +620,89 @@ func (s *Session) MigrationEngine() *migration.Engine {
 func (s *Session) TCMNow() *tcm.Map {
 	m, _ := s.k.TCM()
 	return m
+}
+
+// CapturedProfile assembles the end-of-run artifact: the final correlation
+// map, thread placement, hot-object homes, sticky footprints, rate trace and
+// decision log, stamped with the run's fingerprint. It requires a completed
+// session with Config.Profile.Save armed. Capture only reads state —
+// uncharged peeks, no simulated CPU — so a Save-armed run stays
+// byte-identical to an unarmed one (the profile golden-identity gate).
+func (s *Session) CapturedProfile() (*profile.Profile, error) {
+	if err := s.checkStep(); err != nil {
+		return nil, err
+	}
+	if !s.cfg.Profile.Save {
+		return nil, errors.New("jessica2: profile capture not armed (set Config.Profile.Save)")
+	}
+	if !s.done {
+		return nil, ErrNotFinished
+	}
+	n := s.k.NumThreads()
+	p := &profile.Profile{
+		Fingerprint: s.fp,
+		TCMThreads:  n,
+		TCMCells:    s.k.Master().Peek(n).AppendFixedCells(make([]int64, 0, n*n)),
+		Assignment:  s.k.Assignment(),
+	}
+	// Hot-object homes: every object the daemon observed as shared by at
+	// least two threads, with its final home (Summary is key-sorted, so the
+	// list is too — HomeOf binary-searches it).
+	for _, o := range s.k.Master().Summary().Objs {
+		if len(o.Threads) < 2 {
+			continue
+		}
+		obj := s.k.Reg.Object(heap.ObjectID(o.Key))
+		if obj == nil {
+			continue
+		}
+		p.HotHomes = append(p.HotHomes, profile.HotHome{Key: o.Key, Home: int32(obj.Home)})
+	}
+	if s.prof != nil {
+		trace, foot := s.prof.LiveViews()
+		for _, rc := range trace {
+			p.RateTrace = append(p.RateTrace, profile.RateChange{
+				At: rc.At, From: rc.From, To: rc.To,
+				Distance: rc.Distance, Converged: rc.Converged,
+				Resampled: int32(rc.Resampled),
+			})
+		}
+		// Maps are sorted at capture time (threads, then class names) so
+		// encoding a profile is a pure function of its contents.
+		threads := make([]int, 0, len(foot))
+		for t := range foot {
+			threads = append(threads, t)
+		}
+		sort.Ints(threads)
+		for _, t := range threads {
+			tf := profile.ThreadFootprint{Thread: int32(t)}
+			classes := make([]string, 0, len(foot[t]))
+			for c := range foot[t] {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, c := range classes {
+				tf.Classes = append(tf.Classes, profile.ClassBytes{Class: c, Bytes: foot[t][c]})
+			}
+			p.Footprints = append(p.Footprints, tf)
+		}
+	}
+	for _, aa := range s.applied {
+		if aa.Note != "" {
+			continue // no-ops carry no placement knowledge
+		}
+		d := profile.Decision{Epoch: int32(aa.Epoch), At: aa.At}
+		switch a := aa.Action.(type) {
+		case MigrateThread:
+			d.Kind, d.A, d.B = profile.DecisionMigrateThread, int64(a.Thread), int64(a.To)
+		case RehomeObject:
+			d.Kind, d.A, d.B = profile.DecisionRehomeObject, int64(a.Object), int64(a.To)
+		case SetSamplingRate:
+			d.Kind, d.A = profile.DecisionSetRate, int64(a.Rate)
+		default:
+			continue
+		}
+		p.Decisions = append(p.Decisions, d)
+	}
+	return p, nil
 }

@@ -262,3 +262,15 @@ func (b *FullBuilder) Merge(other *FullBuilder) {
 // `-tags tcmfull` the correlation map simply keeps lost nodes' evidence at
 // full weight.
 func (b *FullBuilder) DecayThreads(threads []int, factor float64) {}
+
+// SeedMap is a documented no-op on the legacy builder, for the same reason
+// DecayThreads is: FullBuilder re-accrues the map from raw per-object state
+// on every Build/Peek, so seeded pair-level volume — prior evidence with no
+// object identity — has nowhere to live (a synthetic object per cell would
+// corrupt the Objects/PairAdds charge accounting). Under `-tags tcmfull` a
+// warm-started session still applies the stored placement and still drives
+// the divergence-gated rate controller (the live map simply starts empty,
+// which the Divergence signal reads as "no evidence of divergence"); only
+// the accumulator seeding is skipped. Warm-start seeding tests gate on
+// BuilderVariant() == "incremental".
+func (b *FullBuilder) SeedMap(m *Map) {}

@@ -356,6 +356,36 @@ func (b *IncBuilder) DecayThreads(threads []int, factor float64) {
 	}
 }
 
+// SeedMap pre-loads the accumulator with a prior run's correlation map —
+// the profile-guided warm start: a policy planning against the seeded map
+// sees the stored correlation structure from epoch 0 instead of relearning
+// it. The map's cells quantize back into the fixed-point units they were
+// accumulated in (exact for maps that originated from an accumulator), and
+// accrue on top of whatever is already present. Seeding is prior knowledge,
+// not measurement: livePairs and the cost ledger are untouched, so a later
+// charged Build reports only the work the simulated analyzer really did.
+// Per-object thread sets are untouched too — the seeded volume is
+// pair-level evidence with no object identity, exactly like post-decay
+// state. The scratch mirror is invalidated, so the next PeekInto is a full
+// O(N²) render. Dimension mismatches are ignored (the session layer only
+// seeds fingerprint-matched profiles).
+func (b *IncBuilder) SeedMap(m *Map) {
+	if m == nil || m.n != b.n {
+		return
+	}
+	seeded := false
+	for i, v := range m.cells {
+		if v == 0 {
+			continue
+		}
+		b.acc[i] = satAdd(b.acc[i], toFixed(v))
+		seeded = true
+	}
+	if seeded {
+		b.allDirty = true
+	}
+}
+
 // VisitNewlyShared streams the objects whose thread set crossed two members
 // since the last consuming call, in ascending key order: key, current
 // weight, and the ascending accessor ids (the threads slice is iteration

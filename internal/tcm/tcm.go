@@ -89,6 +89,32 @@ func (m *Map) Reuse(n int) *Map {
 	return m
 }
 
+// AppendFixedCells appends every cell quantized to the builders' scaled
+// fixed-point units (see builder_inc.go: 2^-12 bytes of resolution) to dst,
+// row-major including both symmetric mirrors. It is the profile store's
+// serialization form: for maps rendered from the incremental accumulator
+// the quantization is exact, so AppendFixedCells∘NewMapFromFixed
+// round-trips bit-identically.
+func (m *Map) AppendFixedCells(dst []int64) []int64 {
+	for _, v := range m.cells {
+		dst = append(dst, toFixed(v))
+	}
+	return dst
+}
+
+// NewMapFromFixed reconstructs an n×n map from scaled fixed-point cells
+// (len must be n×n, as produced by AppendFixedCells).
+func NewMapFromFixed(n int, cells []int64) *Map {
+	if len(cells) != n*n {
+		panic(fmt.Sprintf("tcm: %d fixed cells for an %d×%d map", len(cells), n, n))
+	}
+	m := NewMap(n)
+	for i, v := range cells {
+		m.cells[i] = toFloat(v)
+	}
+	return m
+}
+
 // Scale multiplies every cell by f, in place, returning the map.
 func (m *Map) Scale(f float64) *Map {
 	for i := range m.cells {

@@ -66,6 +66,7 @@ import (
 	"jessica2/internal/heap"
 	"jessica2/internal/migration"
 	"jessica2/internal/network"
+	"jessica2/internal/profile"
 	"jessica2/internal/sampling"
 	"jessica2/internal/scenario"
 	"jessica2/internal/session"
@@ -351,6 +352,11 @@ type Config struct {
 	// Epoch is the closed-loop stepping period Session.Run and RunUntil
 	// use when a policy is installed (Step takes an explicit period).
 	Epoch Time
+	// Profile configures profile-store persistence: Load warm-starts the
+	// run from a stored profile (fingerprint-checked; a mismatch degrades
+	// to a cold start with Session.ProfileWarning set, never a session
+	// error), Save arms end-of-run capture via Session.CapturedProfile.
+	Profile ProfileIO
 }
 
 // DefaultConfig mirrors the paper's 8-node Fast Ethernet testbed with
@@ -472,6 +478,65 @@ type (
 // default tuning.
 var NewRebalancePolicy = session.NewRebalancePolicy
 
+// --- profile store ----------------------------------------------------------
+
+// Profile-store vocabulary (see package internal/profile): a StoredProfile
+// is the end-of-run artifact — final TCM, thread placement, hot-object
+// homes, sticky footprints, rate trace and decision log — serialized to a
+// versioned, deterministic, self-describing binary format and used to
+// warm-start later runs of the same workload.
+type (
+	// StoredProfile is the persisted end-of-run profiling artifact.
+	// (ProfileConfig, above, configures the *live* profiling subsystems —
+	// the two are unrelated despite the shared prefix.)
+	StoredProfile = profile.Profile
+	// ProfileFingerprint identifies the run a profile was captured from
+	// (workload, scenario, nodes, threads, seed); loads are accepted only
+	// on an exact match.
+	ProfileFingerprint = profile.Fingerprint
+	// ProfileIO wires a session to the profile store (Config.Profile).
+	ProfileIO = session.ProfileIO
+	// ProfileRateChange is one stored adaptive-controller decision.
+	ProfileRateChange = profile.RateChange
+	// ProfileDecision is one stored applied policy decision.
+	ProfileDecision = profile.Decision
+	// WarmStartPolicy is the profile-guided closed-loop controller: it
+	// replays the stored hot-object homes early and drives the sampling
+	// rate from the live-vs-stored TCM divergence signal, spending the
+	// sampling budget only where the live run diverges.
+	WarmStartPolicy = session.WarmStartPolicy
+)
+
+// ProfileVersion is the profile store's current format version; Decode
+// rejects newer versions with ErrProfileVersion.
+const ProfileVersion = profile.Version
+
+// Profile store functions: binary codec, file round trip, and the
+// divergence metric (total-variation distance of shape-normalized maps)
+// behind Snapshot.Divergence.
+var (
+	EncodeProfile     = profile.Encode
+	DecodeProfile     = profile.Decode
+	SaveProfile       = profile.Save
+	LoadProfile       = profile.Load
+	ProfileDivergence = profile.Divergence
+)
+
+// Profile store errors (typed, matchable with errors.Is).
+var (
+	// ErrProfileBadMagic rejects data that is not a jessica2 profile.
+	ErrProfileBadMagic = profile.ErrBadMagic
+	// ErrProfileVersion rejects forward-incompatible format versions.
+	ErrProfileVersion = profile.ErrVersion
+	// ErrProfileCorrupt rejects truncated or bit-flipped payloads.
+	ErrProfileCorrupt = profile.ErrCorrupt
+)
+
+// NewWarmStartPolicy returns the profile-guided policy with its default
+// tuning (RebalancePolicy inner optimizer, 0.10/0.35 divergence
+// hysteresis, 1X floor rate).
+var NewWarmStartPolicy = session.NewWarmStartPolicy
+
 // Session lifecycle errors.
 var (
 	// ErrStarted rejects configuration calls after stepping has begun.
@@ -498,6 +563,7 @@ func NewSession(cfg Config) *Session {
 		Kernel:   cfg.kernelConfig(),
 		Scenario: cfg.Scenario,
 		Epoch:    cfg.Epoch,
+		Profile:  cfg.Profile,
 	})}
 }
 
@@ -571,6 +637,20 @@ func (s *Session) Actions() []AppliedAction { return s.s.Actions() }
 func (s *Session) MigrationHistory() []MigrationOutcome {
 	return append([]MigrationOutcome(nil), s.s.MigrationEngine().History...)
 }
+
+// Fingerprint returns the run's profile fingerprint (valid after the first
+// Launch); profiles captured from this run are stamped with it.
+func (s *Session) Fingerprint() ProfileFingerprint { return s.s.Fingerprint() }
+
+// ProfileWarning reports why a configured Config.Profile.Load was rejected
+// ("" when none was configured, or when it was accepted). A rejected load
+// degrades to a cold start; it is never the sticky session error.
+func (s *Session) ProfileWarning() string { return s.s.ProfileWarning() }
+
+// CapturedProfile assembles the end-of-run profile artifact. It requires a
+// completed session with Config.Profile.Save armed; capture only reads
+// state, so a Save-armed run is byte-identical to an unarmed one.
+func (s *Session) CapturedProfile() (*StoredProfile, error) { return s.s.CapturedProfile() }
 
 // Report returns the completed run's report, or ErrNotFinished while the
 // run is still in progress.
