@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test test-race test-tcmfull test-chaos test-serve test-profile bench bench-seq demo-closedloop demo-serve clean
+.PHONY: verify build vet test test-race test-tcmfull test-chaos test-serve test-profile test-dispatch bench bench-seq demo-closedloop demo-serve clean
 
 verify: build vet test
 
@@ -30,8 +30,31 @@ test-race:
 # (recovery must strictly beat no-recovery and one-shot placement on every
 # crash schedule) — all with the race detector on the test half.
 test-chaos:
-	go test -race -count=1 -run 'Chaos|InjectionDisabled|GoldenTrace|FigR|Failure|Flush|Lease|Heartbeat|Fuzz|Crash|Intercept|Shaper' . ./internal/gos/ ./internal/experiments/ ./internal/scenario/ ./internal/network/
+	go test -race -count=1 -run 'Chaos|InjectionDisabled|GoldenTrace|FigR|Failure|Flush|Lease|Heartbeat|Fuzz|Crash|Intercept|Shaper' . ./internal/gos/ ./internal/experiments/ ./internal/scenario/ ./internal/network/ ./internal/dispatch/
 	go run ./cmd/djvmbench -figR -scale $(SCALE)
+
+# test-dispatch is the distributed-dispatcher gauntlet: the wire-codec
+# round-trip and typed-error tests, the lease-fencing and failure-injection
+# suite (hung worker, restarted worker, corrupt results, fleet death), the
+# loopback identity gate (a dispatched batch must be byte-identical to the
+# sequential baseline), and the SIGKILL chaos test over real worker
+# processes — all under the race detector — then a djvmbench -workers smoke
+# against two local djvmworker processes with output byte-compared to the
+# local run.
+test-dispatch:
+	go test -race -count=1 ./internal/dispatch/
+	go build -o /tmp/j2_djvmworker ./cmd/djvmworker
+	set -e; \
+	/tmp/j2_djvmworker -listen 127.0.0.1:0 -quiet > /tmp/j2_w1.addr & P1=$$!; \
+	/tmp/j2_djvmworker -listen 127.0.0.1:0 -quiet > /tmp/j2_w2.addr & P2=$$!; \
+	trap "kill $$P1 $$P2 2>/dev/null" EXIT; \
+	sleep 1; \
+	W1=$$(sed 's/djvmworker listening on //' /tmp/j2_w1.addr); \
+	W2=$$(sed 's/djvmworker listening on //' /tmp/j2_w2.addr); \
+	go run ./cmd/djvmbench -table 2 -scale $(SCALE) -workers "$$W1,$$W2" | grep -v '^-- regenerated' > /tmp/j2_dist.txt; \
+	go run ./cmd/djvmbench -table 2 -scale $(SCALE) | grep -v '^-- regenerated' > /tmp/j2_local.txt; \
+	diff -u /tmp/j2_dist.txt /tmp/j2_local.txt && echo "dispatch identity: OK"
+	rm -f /tmp/j2_djvmworker /tmp/j2_w1.addr /tmp/j2_w2.addr /tmp/j2_dist.txt /tmp/j2_local.txt
 
 # test-serve is the open-loop traffic gauntlet: ServeMix golden determinism
 # and arrival-stream property tests under the race detector, plus the

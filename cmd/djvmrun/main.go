@@ -14,6 +14,16 @@
 //	djvmrun -app serve -scenario diurnal -policy rebalance -epoch 125ms
 //	djvmrun -app kv -scenario phased -policy rebalance -profile-out kv.j2pf
 //	djvmrun -app kv -scenario phased -policy warmstart -profile-in kv.j2pf
+//	djvmrun -app sor -seeds 8 -workers host1:9377,host2:9377
+//
+// -workers dispatches the run (all -seeds replicas as one batch) to a
+// fleet of djvmworker processes through the fault-tolerant experiment
+// dispatcher and renders a compact report from each collected outcome.
+// Only spec-expressible runs dispatch: plain profiling runs of the
+// closed-loop apps (sor, bh, water, lu, kv) without -policy, -recover or
+// profile I/O. Workers that are unreachable or die mid-batch cost wall
+// clock, not results — stranded jobs rerun locally and the output is
+// byte-identical to a local run.
 //
 // -profile-out saves the end-of-run profile (TCM, placement, hot-object
 // homes, rate trace) to the named file; -profile-in reloads one, applying
@@ -64,6 +74,8 @@ import (
 	"time"
 
 	"jessica2"
+	"jessica2/internal/dispatch"
+	"jessica2/internal/experiments"
 	"jessica2/internal/runner"
 )
 
@@ -86,6 +98,7 @@ type runConfig struct {
 	epoch     jessica2.Time
 	seeds     int
 	parallel  int
+	workers   string // comma-separated djvmworker fleet (dispatched mode)
 	scenSeed  uint64 // 0 = follow the workload seed
 	benchjson string // write a machine-readable run report to this file
 
@@ -159,6 +172,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		epoch     = fs.Duration("epoch", 0, "explicit closed-loop epoch length (overrides -epochs; skips the pilot run)")
 		seeds     = fs.Int("seeds", 1, "replicate the run over N consecutive seeds")
 		parallel  = fs.Int("parallel", 0, "worker pool for -seeds replicas (0 = GOMAXPROCS, 1 = sequential)")
+		workers   = fs.String("workers", "", "comma-separated djvmworker addresses; runs are dispatched to the fleet and rendered from the collected outcomes (plain profiling runs only)")
 		benchjson = fs.String("benchjson", "", "write a machine-readable run report (exec times, wall clock, TCM builder variant) to this file")
 		profIn    = fs.String("profile-in", "", "load a stored profile for a warm start (placement applied before epoch 0, TCM seeded; mismatched fingerprints fall back to cold with a warning)")
 		profOut   = fs.String("profile-out", "", "save the end-of-run profile to this file")
@@ -172,7 +186,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		showTCM: *showTCM, plan: *plan, scenSpec: *scenSpec, recover: *recov,
 		policyTag: strings.ToLower(*policy),
 		epochs:    *epochs, epoch: jessica2.Time(epoch.Nanoseconds()),
-		seeds: *seeds, parallel: *parallel, benchjson: *benchjson,
+		seeds: *seeds, parallel: *parallel, workers: *workers, benchjson: *benchjson,
 		profileIn: *profIn, profileOut: *profOut,
 	}
 	if _, err := newWorkload(rc.app); err != nil {
@@ -226,7 +240,43 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 	if rc.parallel < 0 {
 		return nil, fmt.Errorf("negative -parallel")
 	}
+	if rc.workers != "" {
+		// Dispatched runs travel as experiments.Spec: only what the spec can
+		// express is eligible. Closed-loop policies, the failure-tolerance
+		// layer and profile I/O are session-side machinery that does not
+		// serialize; the open-loop and synthetic apps have no spec mapping.
+		if _, ok := specApp(rc.app); !ok {
+			return nil, fmt.Errorf("-workers cannot dispatch -app %s (specs cover sor, bh, water, lu, kv)", rc.app)
+		}
+		if pol != nil {
+			return nil, fmt.Errorf("-workers cannot dispatch a -policy run")
+		}
+		if rc.recover {
+			return nil, fmt.Errorf("-workers cannot dispatch a -recover run")
+		}
+		if rc.profileIn != "" || rc.profileOut != "" {
+			return nil, fmt.Errorf("-workers cannot dispatch profile I/O runs")
+		}
+	}
 	return rc, nil
+}
+
+// specApp maps a -app name onto its experiments.Spec identity (the subset
+// of apps the dispatcher can ship).
+func specApp(app string) (experiments.App, bool) {
+	switch strings.ToLower(app) {
+	case "sor":
+		return experiments.AppSOR, true
+	case "bh", "barnes-hut", "barneshut":
+		return experiments.AppBarnesHut, true
+	case "water", "ws", "water-spatial":
+		return experiments.AppWaterSpatial, true
+	case "lu":
+		return experiments.AppLU, true
+	case "kv", "kvmix":
+		return experiments.AppKVMix, true
+	}
+	return 0, false
 }
 
 // ensureArrivals gives an open-loop app a default arrival schedule when the
@@ -328,6 +378,9 @@ type runReport struct {
 // JSON report.
 func (rc *runConfig) execute(out io.Writer) error {
 	start := time.Now()
+	if rc.workers != "" {
+		return rc.executeDispatched(out, start)
+	}
 	if rc.profileIn != "" {
 		prof, err := jessica2.LoadProfile(rc.profileIn)
 		if err != nil {
@@ -363,6 +416,130 @@ func (rc *runConfig) execute(out io.Writer) error {
 		}
 	}
 	return rc.writeBenchJSON(execs, time.Since(start))
+}
+
+// buildSpec maps one replica of the invocation onto the wire-portable
+// experiment spec the dispatcher ships.
+func (rc *runConfig) buildSpec(seed uint64) (experiments.Spec, error) {
+	app, ok := specApp(rc.app)
+	if !ok {
+		return experiments.Spec{}, fmt.Errorf("-app %s has no spec mapping", rc.app)
+	}
+	ss := rc.scenSeed
+	if ss == 0 {
+		ss = seed
+	}
+	scen, err := jessica2.ParseScenario(rc.scenSpec, rc.nodes, ss)
+	if err != nil {
+		return experiments.Spec{}, err
+	}
+	spec := experiments.Spec{
+		App: app, Nodes: rc.nodes, Threads: rc.threads, Seed: seed,
+		Rate: rc.rate, Tracking: jessica2.TrackingSampled, TransferOALs: true,
+		Scenario: scen,
+	}
+	if rc.rate == 0 {
+		spec.Tracking = jessica2.TrackingOff
+	}
+	if rc.adaptive {
+		ac := jessica2.DefaultAdaptiveConfig()
+		spec.Adaptive = &ac
+		spec.Rate = 0
+	}
+	if rc.stackProf {
+		sc := jessica2.DefaultStackConfig()
+		spec.Stack = &sc
+	}
+	if rc.footprint {
+		spec.Footprint = &jessica2.FootprintConfig{FootprinterConfig: jessica2.DefaultFootprinter()}
+	}
+	return spec, nil
+}
+
+// executeDispatched ships the invocation — all -seeds replicas as one
+// batch — to the djvmworker fleet and renders each collected outcome in
+// seed order. Unreachable or dying workers degrade to local execution
+// inside the dispatcher, so the command succeeds (more slowly) even with
+// the whole fleet down.
+func (rc *runConfig) executeDispatched(out io.Writer, start time.Time) error {
+	specs := make([]experiments.Spec, rc.seeds)
+	for i := range specs {
+		var err error
+		if specs[i], err = rc.buildSpec(rc.seed + uint64(i)); err != nil {
+			return err
+		}
+	}
+	d := dispatch.New(dispatch.Config{
+		Workers:  strings.Split(rc.workers, ","),
+		Fallback: runner.New(rc.parallel),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	outs, err := d.RunSpecs(specs)
+	if err != nil {
+		return err
+	}
+	execs := make([]jessica2.Time, len(outs))
+	for i, o := range outs {
+		if rc.seeds > 1 {
+			fmt.Fprintf(out, "===== seed %d =====\n", rc.seed+uint64(i))
+		}
+		rc.renderOut(o, out)
+		execs[i] = o.Exec
+	}
+	s := d.Stats()
+	fmt.Fprintf(out, "dispatch: %d jobs (%d remote, %d local), %d leases granted, %d expired, %d reassigned, %d stale rejected, %d workers lost\n",
+		s.Jobs, s.Remote, s.Local, s.LeasesGranted, s.LeasesExpired, s.Reassignments, s.StaleRejected, s.WorkersLost)
+	return rc.writeBenchJSON(execs, time.Since(start))
+}
+
+// renderOut prints the dispatched-run report for one collected outcome: a
+// compact version of runSeed's report covering everything a Spec-shaped
+// run produces.
+func (rc *runConfig) renderOut(o *experiments.Out, out io.Writer) {
+	w, _ := newWorkload(rc.app)
+	scenName := "none"
+	if o.Spec.Scenario != nil {
+		scenName = o.Spec.Scenario.String()
+	}
+	fmt.Fprintf(out, "%s on %d nodes, %d threads (scenario: %s, dispatched)\n\n",
+		w.Name(), rc.nodes, rc.threads, scenName)
+	fmt.Fprintf(out, "execution time:    %v\n", o.Exec)
+	fmt.Fprintf(out, "profiling traffic: %.1f KB OAL, %.1f KB GOS\n", o.OALKB(), o.GOSKB())
+	if o.TCMTime > 0 {
+		fmt.Fprintf(out, "TCM analyzer CPU:  %v\n", o.TCMTime)
+	}
+	fmt.Fprintln(out)
+	if rc.adaptive && o.Profiler != nil {
+		fmt.Fprintln(out, "adaptive controller trace:")
+		for _, rcg := range o.Profiler.RateTrace {
+			fmt.Fprintf(out, "  t=%v  %v -> %v  distance=%.4f converged=%v (resampled %d)\n",
+				rcg.At, rcg.From, rcg.To, rcg.Distance, rcg.Converged, rcg.Resampled)
+		}
+		fmt.Fprintln(out)
+	}
+	if rc.footprint && o.Footprints != nil {
+		fmt.Fprintln(out, "sticky-set footprints (thread 0):")
+		fp := o.Footprints[0]
+		for _, c := range fp.Classes() {
+			fmt.Fprintf(out, "  %-10s %8d bytes\n", c, fp[c])
+		}
+		fmt.Fprintln(out)
+	}
+	if rc.showTCM && o.TCM != nil {
+		fmt.Fprintln(out, "thread correlation map:")
+		fmt.Fprintln(out, o.TCM)
+	}
+	if rc.plan && o.TCM != nil {
+		cur := jessica2.BlockedPlacement(rc.threads, rc.nodes)
+		next, moves := jessica2.PlanPlacement(o.TCM, cur, rc.nodes)
+		fmt.Fprintf(out, "placement plan: cross-volume %.0f -> %.0f bytes\n",
+			jessica2.CrossVolume(o.TCM, cur), jessica2.CrossVolume(o.TCM, next))
+		for _, mv := range moves {
+			fmt.Fprintf(out, "  %s\n", mv)
+		}
+	}
 }
 
 // writeBenchJSON emits the -benchjson report (no-op when the flag is

@@ -1,0 +1,49 @@
+// djvmworker is the worker half of the distributed experiment dispatcher:
+// a process that accepts sealed experiments.Spec jobs over HTTP (see
+// internal/dispatch), runs each one in-process, and serves the sealed
+// outcome back to the coordinator. Point djvmbench/djvmrun -workers at a
+// fleet of these.
+//
+// Usage:
+//
+//	djvmworker [-listen addr] [-quiet]
+//
+// The worker prints "djvmworker listening on <addr>" once the socket is
+// bound (with -listen :0 the line carries the assigned port, which is how
+// the chaos tests and local scripts discover it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"jessica2/internal/dispatch"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9377", "address to listen on (:0 picks a free port)")
+	quiet := flag.Bool("quiet", false, "suppress per-job logging")
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "djvmworker: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "djvmworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("djvmworker listening on %s\n", ln.Addr())
+
+	w := dispatch.NewWorker(logf)
+	if err := http.Serve(ln, w.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "djvmworker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -12,10 +12,14 @@
 package runner
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jessica2/internal/sim"
 )
@@ -50,10 +54,36 @@ func (p *Pool) Workers() int {
 // Parallel reports whether the pool actually fans out.
 func (p *Pool) Parallel() bool { return p.Workers() > 1 }
 
-// jobPanic carries a worker panic back to the submitting goroutine.
-type jobPanic struct {
-	job int
-	val any
+// JobPanic carries a job panic out of Collect with the original panic value
+// and the panicking goroutine's stack intact. Collect re-panics with a
+// *JobPanic instead of a flattened string so a caller that recovers (or a
+// crash report) still has the real Value — a typed error, a sentinel — and
+// the stack of the job that raised it, not the stack of the collecting
+// goroutine.
+type JobPanic struct {
+	// Job is the panicking job's submission index.
+	Job int
+	// Value is the original panic value, unmodified.
+	Value any
+	// Stack is the panicking goroutine's stack trace (debug.Stack), captured
+	// at recovery inside the job's own goroutine.
+	Stack []byte
+}
+
+// Error renders the historical "runner: job N panicked: v" message, so a
+// recover site matching on the text keeps working.
+func (p *JobPanic) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", p.Job, p.Value)
+}
+
+func (p *JobPanic) String() string { return p.Error() }
+
+// Unwrap exposes a panic Value that was itself an error to errors.Is/As.
+func (p *JobPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Collect executes every job and returns the results in submission order.
@@ -63,9 +93,10 @@ type jobPanic struct {
 //
 // A panicking job does not tear down its worker: remaining jobs still run,
 // and the first panic (by job index, deterministically) is re-raised on the
-// caller once all workers have parked. While jobs are in flight the
-// simulator's process-global tunings are suspended (sim.EnterParallel), so
-// concurrent engines neither race on them nor serialize each other.
+// caller as a *JobPanic preserving the original value and stack once all
+// workers have parked. While jobs are in flight the simulator's
+// process-global tunings are suspended (sim.EnterParallel), so concurrent
+// engines neither race on them nor serialize each other.
 func Collect[T any](p *Pool, jobs []func() T) []T {
 	out := make([]T, len(jobs))
 	workers := p.Workers()
@@ -86,14 +117,15 @@ func Collect[T any](p *Pool, jobs []func() T) []T {
 		cursor atomic.Int64
 		wg     sync.WaitGroup
 		mu     sync.Mutex
-		first  *jobPanic
+		first  *JobPanic
 	)
 	run := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
+				stack := debug.Stack()
 				mu.Lock()
-				if first == nil || i < first.job {
-					first = &jobPanic{job: i, val: r}
+				if first == nil || i < first.Job {
+					first = &JobPanic{Job: i, Value: r, Stack: stack}
 				}
 				mu.Unlock()
 			}
@@ -115,7 +147,7 @@ func Collect[T any](p *Pool, jobs []func() T) []T {
 	}
 	wg.Wait()
 	if first != nil {
-		panic(fmt.Sprintf("runner: job %d panicked: %v", first.job, first.val))
+		panic(first)
 	}
 	return out
 }
@@ -142,6 +174,43 @@ type Result[T any] struct {
 	Attempts int
 }
 
+// Backoff is a capped exponential per-attempt delay policy: the n-th retry
+// of an operation waits min(Base·2ⁿ, Max) of real wall-clock time. The zero
+// value means no delay at all (every retry is immediate), and Max <= 0
+// leaves the doubling uncapped. The delays are plain time.Sleep real time,
+// not simulated time — retries here pace host-side work (flaky external
+// checks, remote workers), never the simulator's virtual clock.
+type Backoff struct {
+	// Base is the delay before the first retry; <= 0 disables all delays.
+	Base time.Duration
+	// Max caps the doubled delays; <= 0 means uncapped.
+	Max time.Duration
+}
+
+// Delay returns the pause before retry number attempt (0 = first retry).
+func (b Backoff) Delay(attempt int) time.Duration {
+	d := b.Base
+	if d <= 0 {
+		return 0
+	}
+	if attempt < 0 {
+		attempt = 0 // clamp: a confused caller gets the base delay, not a hot loop
+	}
+	for ; attempt > 0; attempt-- {
+		if b.Max > 0 && d >= b.Max {
+			return b.Max
+		}
+		if d > math.MaxInt64/2 {
+			return time.Duration(math.MaxInt64)
+		}
+		d *= 2
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
 // TryCollect is Collect for fallible jobs: each job that returns an error
 // is retried in place — on the same worker, immediately, up to retries
 // additional attempts — and the final outcomes come back in submission
@@ -152,6 +221,24 @@ type Result[T any] struct {
 // budget and reports the last error. Panics are not converted to errors —
 // they propagate exactly as under Collect.
 func TryCollect[T any](p *Pool, retries int, jobs []func() (T, error)) []Result[T] {
+	return TryCollectCtx(context.Background(), p, retries, Backoff{}, jobs)
+}
+
+// TryCollectCtx is TryCollect with a per-attempt backoff policy and a
+// cancellation path. Between a failed attempt and its retry the worker
+// sleeps bo.Delay(attempt) of real time (capped exponential; the zero
+// Backoff retries immediately, exactly like TryCollect). Before every
+// attempt the context is consulted: once ctx is cancelled, jobs stop
+// retrying — and jobs that have not started at all stop executing — and
+// report ctx's error as their final Err. A job already executing is never
+// interrupted mid-attempt (jobs are not context-aware), so cancellation
+// latency is bounded by one attempt plus one backoff sleep. Attempts counts
+// executions as in TryCollect; a job cancelled before its first attempt
+// reports Attempts == 0.
+func TryCollectCtx[T any](ctx context.Context, p *Pool, retries int, bo Backoff, jobs []func() (T, error)) []Result[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if retries < 0 {
 		retries = 0
 	}
@@ -161,6 +248,10 @@ func TryCollect[T any](p *Pool, retries int, jobs []func() (T, error)) []Result[
 		wrapped[i] = func() Result[T] {
 			var res Result[T]
 			for attempt := 0; ; attempt++ {
+				if err := ctx.Err(); err != nil {
+					res.Err = err
+					return res
+				}
 				res.Value, res.Err = job()
 				res.Attempts = attempt + 1
 				if res.Err == nil {
@@ -170,6 +261,9 @@ func TryCollect[T any](p *Pool, retries int, jobs []func() (T, error)) []Result[
 				res.Value = zero
 				if attempt == retries {
 					return res
+				}
+				if d := bo.Delay(attempt); d > 0 {
+					time.Sleep(d)
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -73,11 +74,66 @@ func TestCollectPanicPropagatesLowestIndex(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic did not propagate")
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "job 3 panicked: 3") {
-			t.Fatalf("wrong panic surfaced: %v", r)
+		jp, ok := r.(*JobPanic)
+		if !ok {
+			t.Fatalf("panic value is %T, want *JobPanic: %v", r, r)
+		}
+		if jp.Job != 3 {
+			t.Fatalf("surfaced job %d, want the lowest index 3", jp.Job)
+		}
+		if !strings.Contains(jp.Error(), "job 3 panicked: 3") {
+			t.Fatalf("wrong panic text: %q", jp.Error())
 		}
 	}()
 	Collect(p, jobs)
+}
+
+// TestCollectPanicPreservesValueAndStack: the re-panicked *JobPanic must
+// carry the job's original panic value (not a formatted copy) and the
+// worker goroutine's stack at panic time, so a crashing experiment stays
+// debuggable through the pool fan-out.
+func TestCollectPanicPreservesValueAndStack(t *testing.T) {
+	type marker struct{ n int }
+	cause := &marker{n: 7}
+	defer func() {
+		r := recover()
+		jp, ok := r.(*JobPanic)
+		if !ok {
+			t.Fatalf("panic value is %T, want *JobPanic", r)
+		}
+		if jp.Value != cause {
+			t.Fatalf("Value = %#v, want the original panic value %#v", jp.Value, cause)
+		}
+		if !strings.Contains(string(jp.Stack), "panickyHelperForStackCapture") {
+			t.Fatalf("Stack does not show the panicking frame:\n%s", jp.Stack)
+		}
+	}()
+	Collect(New(2), []func() int{
+		func() int { return 0 },
+		func() int { panickyHelperForStackCapture(cause); return 1 },
+	})
+}
+
+//go:noinline
+func panickyHelperForStackCapture(v any) { panic(v) }
+
+// TestCollectPanicUnwrapsError: when a job panics with an error value,
+// errors.Is sees through the JobPanic wrapper.
+func TestCollectPanicUnwrapsError(t *testing.T) {
+	boom := errors.New("boom")
+	defer func() {
+		jp, ok := recover().(*JobPanic)
+		if !ok {
+			t.Fatal("expected *JobPanic")
+		}
+		if !errors.Is(jp, boom) {
+			t.Fatalf("errors.Is(%v, boom) = false", jp)
+		}
+	}()
+	Collect(New(2), []func() int{
+		func() int { panic(boom) },
+		func() int { return 0 },
+	})
 }
 
 func TestNilAndSequentialPoolsRunInline(t *testing.T) {
@@ -210,5 +266,125 @@ func TestTryCollectNegativeRetries(t *testing.T) {
 	})
 	if ran.Load() != 1 || out[0].Attempts != 1 {
 		t.Fatalf("negative retries: ran %d, attempts %d, want 1/1", ran.Load(), out[0].Attempts)
+	}
+}
+
+// TestBackoffDelay pins the capped-exponential schedule, its zero-value
+// no-delay contract, and overflow safety at absurd attempt counts.
+func TestBackoffDelay(t *testing.T) {
+	cases := []struct {
+		name    string
+		bo      Backoff
+		attempt int
+		want    time.Duration
+	}{
+		{"zero value never delays", Backoff{}, 0, 0},
+		{"zero value never delays late", Backoff{}, 9, 0},
+		{"first attempt is base", Backoff{Base: 10 * time.Millisecond, Max: time.Second}, 0, 10 * time.Millisecond},
+		{"doubles", Backoff{Base: 10 * time.Millisecond, Max: time.Second}, 1, 20 * time.Millisecond},
+		{"doubles again", Backoff{Base: 10 * time.Millisecond, Max: time.Second}, 3, 80 * time.Millisecond},
+		{"hits the cap", Backoff{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond}, 4, 50 * time.Millisecond},
+		{"stays at the cap", Backoff{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond}, 40, 50 * time.Millisecond},
+		{"negative attempt clamps to base", Backoff{Base: 10 * time.Millisecond, Max: time.Second}, -3, 10 * time.Millisecond},
+		{"no cap grows freely", Backoff{Base: time.Millisecond}, 10, 1024 * time.Millisecond},
+		{"huge attempt does not overflow", Backoff{Base: time.Second}, 500, Backoff{Base: time.Second}.Delay(499)},
+	}
+	for _, tc := range cases {
+		if got := tc.bo.Delay(tc.attempt); got != tc.want {
+			t.Errorf("%s: Delay(%d) = %v, want %v", tc.name, tc.attempt, got, tc.want)
+		}
+	}
+	// Overflow guard: the uncapped schedule must saturate positive, never
+	// wrap negative (a negative Sleep returns immediately — a hot loop).
+	if d := (Backoff{Base: time.Hour}).Delay(200); d <= 0 {
+		t.Fatalf("uncapped Delay(200) = %v, want a positive saturated delay", d)
+	}
+}
+
+// TestTryCollectCtxBacksOff: failed attempts must be spaced by the backoff
+// schedule (wall-clock lower bound), and the result still recovers.
+func TestTryCollectCtxBacksOff(t *testing.T) {
+	var ran atomic.Int64
+	bo := Backoff{Base: 20 * time.Millisecond, Max: 80 * time.Millisecond}
+	start := time.Now()
+	out := TryCollectCtx(context.Background(), New(2), 3, bo, []func() (int, error){
+		func() (int, error) {
+			if ran.Add(1) <= 2 {
+				return 0, errors.New("transient")
+			}
+			return 42, nil
+		},
+	})
+	elapsed := time.Since(start)
+	if out[0].Err != nil || out[0].Value != 42 || out[0].Attempts != 3 {
+		t.Fatalf("result = %+v, want 42 after 3 attempts", out[0])
+	}
+	// Two failed attempts sleep Delay(0)+Delay(1) = 20ms+40ms.
+	if want := 60 * time.Millisecond; elapsed < want {
+		t.Fatalf("elapsed %v, want at least %v of backoff", elapsed, want)
+	}
+}
+
+// TestTryCollectCtxNoBackoffMatchesTryCollect: the zero Backoff keeps the
+// historical immediate-retry behavior TryCollect delegates to.
+func TestTryCollectCtxNoBackoffMatchesTryCollect(t *testing.T) {
+	var ran atomic.Int64
+	start := time.Now()
+	out := TryCollectCtx(context.Background(), nil, 4, Backoff{}, []func() (int, error){
+		func() (int, error) { ran.Add(1); return 0, errors.New("always") },
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("zero backoff slept: %v", elapsed)
+	}
+	if ran.Load() != 5 || out[0].Attempts != 5 {
+		t.Fatalf("ran %d / attempts %d, want 5/5", ran.Load(), out[0].Attempts)
+	}
+}
+
+// TestTryCollectCtxCancelled: cancellation before the batch starts reports
+// ctx.Err() for every job without running anything.
+func TestTryCollectCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	out := TryCollectCtx(ctx, New(2), 3, Backoff{}, []func() (int, error){
+		func() (int, error) { ran.Add(1); return 1, nil },
+		func() (int, error) { ran.Add(1); return 2, nil },
+	})
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran under a cancelled context", ran.Load())
+	}
+	for i, r := range out {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("out[%d].Err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Value != 0 || r.Attempts != 0 {
+			t.Fatalf("out[%d] = %+v, want zero value and zero attempts", i, r)
+		}
+	}
+}
+
+// TestTryCollectCtxCancelMidRetries: cancelling during a retry sequence
+// stops further attempts and surfaces the context error with the attempt
+// count actually executed.
+func TestTryCollectCtxCancelMidRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	out := TryCollectCtx(ctx, nil, 1000, Backoff{Base: time.Millisecond, Max: time.Millisecond}, []func() (int, error){
+		func() (int, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return 0, errors.New("keep trying")
+		},
+	})
+	if !errors.Is(out[0].Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", out[0].Err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("job ran %d times, want 3 (cancel stops the retry loop)", got)
+	}
+	if out[0].Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", out[0].Attempts)
 	}
 }

@@ -1,6 +1,7 @@
 package tcm
 
 import (
+	"math"
 	"reflect"
 	"testing"
 )
@@ -122,4 +123,36 @@ func TestNewMapFromFixedPanicsOnBadLength(t *testing.T) {
 		}
 	}()
 	NewMapFromFixed(2, []int64{1, 2, 3})
+}
+
+// TestCellBitsRoundTrip: the bit-pattern codec must be exact for maps the
+// fixed-point form cannot carry — arbitrary float accruals (the page-based
+// baseline) including values with no finite Q12 representation.
+func TestCellBitsRoundTrip(t *testing.T) {
+	m := NewMap(3)
+	m.Add(0, 1, 0.1)                          // not representable in Q12
+	m.Add(1, 2, 3.1415926)
+	m.Add(0, 2, math.SmallestNonzeroFloat64)  // underflows fixed point
+	bits := m.AppendCellBits(nil)
+	back := NewMapFromBits(3, bits)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			g, w := back.At(i, j), m.At(i, j)
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Errorf("At(%d,%d): bits %x, want %x", i, j, math.Float64bits(g), math.Float64bits(w))
+			}
+		}
+	}
+	if again := back.AppendCellBits(nil); !reflect.DeepEqual(again, bits) {
+		t.Errorf("second serialization differs")
+	}
+}
+
+func TestNewMapFromBitsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMapFromBits accepted a mis-sized bits slice")
+		}
+	}()
+	NewMapFromBits(2, []uint64{1, 2, 3})
 }

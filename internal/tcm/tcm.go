@@ -102,6 +102,32 @@ func (m *Map) AppendFixedCells(dst []int64) []int64 {
 	return dst
 }
 
+// AppendCellBits appends every cell's IEEE-754 bit pattern to dst,
+// row-major including both symmetric mirrors. Unlike AppendFixedCells this
+// is exact for *any* map, not just ones accumulated in fixed point (the
+// page-based baseline tracker builds float maps directly), which is why the
+// experiment dispatcher's wire form uses it: AppendCellBits∘NewMapFromBits
+// round-trips bit-identically for every map.
+func (m *Map) AppendCellBits(dst []uint64) []uint64 {
+	for _, v := range m.cells {
+		dst = append(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// NewMapFromBits reconstructs an n×n map from IEEE-754 cell bit patterns
+// (len must be n×n, as produced by AppendCellBits).
+func NewMapFromBits(n int, bits []uint64) *Map {
+	if len(bits) != n*n {
+		panic(fmt.Sprintf("tcm: %d cell bits for an %d×%d map", len(bits), n, n))
+	}
+	m := NewMap(n)
+	for i, b := range bits {
+		m.cells[i] = math.Float64frombits(b)
+	}
+	return m
+}
+
 // NewMapFromFixed reconstructs an n×n map from scaled fixed-point cells
 // (len must be n×n, as produced by AppendFixedCells).
 func NewMapFromFixed(n int, cells []int64) *Map {
