@@ -4,7 +4,7 @@ BENCH ?= BENCH_current.json
 # SCALE divides the paper datasets (1 = paper scale, 8 = CI-friendly).
 SCALE ?= 8
 
-.PHONY: verify build vet test test-race test-tcmfull test-chaos test-serve test-profile test-dispatch bench bench-seq demo-closedloop demo-serve clean
+.PHONY: verify build vet test test-race test-tcmfull test-chaos test-serve test-overload test-profile test-dispatch bench bench-seq demo-closedloop demo-serve clean
 
 verify: build vet test
 
@@ -63,6 +63,19 @@ test-dispatch:
 test-serve:
 	go test -race -count=1 -run 'ServeMix|Arrivals|FigT|Controller' . ./internal/workload/ ./internal/scenario/ ./internal/experiments/ ./internal/sampling/
 	go run ./cmd/djvmbench -figT -scale $(SCALE)
+
+# test-overload is the serving-robustness gauntlet: the preset × protection
+# determinism grid and the robust-off golden gate (Snapshot.Serve must be
+# byte-identical to the pre-layer golden when the layer is off), the robust
+# dispatcher and lock-failover suites — all under the race detector — then
+# the Figure G assertion (the full protection stack must strictly beat
+# no-protection and shed-only on SLO goodput AND P99 on every failure
+# schedule; non-zero exit otherwise) and the `-recover -app serve`
+# end-to-end smoke.
+test-overload:
+	go test -race -count=1 -run 'Overload|FigG|Robust|ServeMix|LockManager|LockReclaim|Protect|RecoverServe' . ./internal/workload/ ./internal/gos/ ./internal/experiments/ ./cmd/djvmrun/
+	go run ./cmd/djvmbench -figG -scale $(SCALE)
+	go run ./cmd/djvmrun -app serve -scenario crash+burst -recover -nodes 4 -threads 8 -rate off -tcm=false
 
 # test-profile is the profile-store gauntlet: the codec round-trip,
 # corruption and fuzz-corpus tests, the warm-start policy and session

@@ -91,6 +91,7 @@ func benchCases(sc experiments.Scale, p *runner.Pool) []struct {
 		{"FigCL", func() { experiments.FigCL(sc, p) }},
 		{"FigR", func() { experiments.FigR(sc, p) }},
 		{"FigT", func() { experiments.FigT(sc, p) }},
+		{"FigG", func() { experiments.FigG(sc, p) }},
 		{"FigW", func() { experiments.FigW(sc, p) }},
 		// EpochSnapshot is the closed-loop epoch-rate probe: one KVMix/phased
 		// run at fixed 2 ms epochs, every boundary paying the snapshot path
@@ -150,6 +151,7 @@ func main() {
 		figCL     = flag.Bool("figCL", false, "regenerate Figure CL (closed-loop adaptation sweep)")
 		figR      = flag.Bool("figR", false, "regenerate Figure R (failure resilience sweep); exits non-zero if recovery does not win")
 		figT      = flag.Bool("figT", false, "regenerate Figure T (open-loop tail-latency sweep); exits non-zero if closed-loop placement does not win on P99")
+		figG      = flag.Bool("figG", false, "regenerate Figure G (serving-through-failures sweep); exits non-zero if the full protection stack does not win on SLO goodput and P99")
 		figW      = flag.Bool("figW", false, "regenerate Figure W (profile-guided warm-start sweep); exits non-zero if warm start does not cut convergence epochs and profiling charge")
 		all       = flag.Bool("all", false, "regenerate everything")
 		scale     = flag.Int("scale", 1, "dataset divisor (1 = paper scale)")
@@ -189,7 +191,7 @@ func main() {
 		fmt.Println("wrote", *benchjson)
 		return
 	}
-	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL && !*figR && !*figT && !*figW {
+	if !*all && *table == 0 && *fig == 0 && !*figS && !*figCL && !*figR && !*figT && !*figG && !*figW {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -263,6 +265,22 @@ func main() {
 			if vs := res.Violations(); len(vs) > 0 {
 				for _, v := range vs {
 					fmt.Fprintln(os.Stderr, "djvmbench: figT violation:", v)
+				}
+				os.Exit(1)
+			}
+		})
+	}
+	if *all || *figG {
+		run("Figure G", func() {
+			res := experiments.FigG(sc, pool)
+			emit(res.Table())
+			// Figure G doubles as an assertion: the full stack (deadlines,
+			// shedding, retries, hedging, breakers) must strictly beat the
+			// unprotected and shed-only levels on goodput-within-SLO and on
+			// P99 on every failure schedule.
+			if vs := res.Violations(); len(vs) > 0 {
+				for _, v := range vs {
+					fmt.Fprintln(os.Stderr, "djvmbench: figG violation:", v)
 				}
 				os.Exit(1)
 			}

@@ -12,6 +12,8 @@
 //	djvmrun -app kv -scenario phased -policy rebalance -epochs 8
 //	djvmrun -app kv -scenario crash -recover -policy rebalance
 //	djvmrun -app serve -scenario diurnal -policy rebalance -epoch 125ms
+//	djvmrun -app serve -scenario crash+burst -recover
+//	djvmrun -app serve -scenario flaky,burst -protect shed
 //	djvmrun -app kv -scenario phased -policy rebalance -profile-out kv.j2pf
 //	djvmrun -app kv -scenario phased -policy warmstart -profile-in kv.j2pf
 //	djvmrun -app sor -seeds 8 -workers host1:9377,host2:9377
@@ -39,6 +41,17 @@
 // instead of a closed iteration loop, and the report gains goodput and
 // P50/P95/P99 latency on the simulated clock. Without an arrival preset a
 // default Poisson stream is installed.
+//
+// -protect picks the serving-path protection level for open-loop apps:
+// "off" is the classic static path, "shed" arms per-request deadlines and
+// admission control only, "full" adds bounded retries, quantile-delayed
+// hedging and per-node circuit breakers fed by the failure detector. The
+// default "auto" resolves to full when -recover is set on an open-loop app
+// (serving through failures wants the whole stack) and off otherwise, so
+// plain runs stay byte-identical to builds without the robustness layer.
+// A protected run's report gains a serving-robustness tail with the
+// goodput-within-SLO headline and the shed/retry/hedge/reroute/breaker
+// counters.
 //
 // The -scenario flag injects fault-injection perturbation schedules
 // (comma-separated presets: hetero, ramp, jitter, noisy, phased, storm,
@@ -93,6 +106,7 @@ type runConfig struct {
 	plan      bool
 	scenSpec  string
 	recover   bool
+	protect   string // serving protection level: off | shed | full | auto
 	policyTag string
 	epochs    int
 	epoch     jessica2.Time
@@ -164,8 +178,9 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		footprint = fs.Bool("footprint", false, "enable sticky-set footprinting")
 		showTCM   = fs.Bool("tcm", true, "print the thread correlation map")
 		plan      = fs.Bool("plan", false, "print a correlation-driven placement plan")
-		scenSpec  = fs.String("scenario", "none", "fault-injection scenario presets, comma-separated: hetero | ramp | jitter | noisy | phased | storm | crash | flaky | partition | poisson | diurnal | burst")
+		scenSpec  = fs.String("scenario", "none", "fault-injection scenario presets, '+' or comma-separated (crash+burst composes a failure schedule with burst arrivals): hetero | ramp | jitter | noisy | phased | storm | crash | flaky | partition | poisson | diurnal | burst")
 		recov     = fs.Bool("recover", false, "arm the failure-tolerance layer (heartbeat/lease detection, thread evacuation, reliable profile flushes)")
+		protect   = fs.String("protect", "auto", "serving protection level for open-loop apps: off | shed | full | auto (auto = full when -recover is set, off otherwise)")
 		scenSeed  = fs.Uint64("scenario-seed", 0, "scenario seed (0 = workload seed)")
 		policy    = fs.String("policy", "none", "closed-loop policy: none | nop | rebalance")
 		epochs    = fs.Int("epochs", 8, "closed-loop epoch count (epoch length = baseline exec / epochs)")
@@ -184,6 +199,7 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 		app: *app, nodes: *nodes, threads: *threads, seed: *seed,
 		adaptive: *adaptive, stackProf: *stackProf, footprint: *footprint,
 		showTCM: *showTCM, plan: *plan, scenSpec: *scenSpec, recover: *recov,
+		protect:   strings.ToLower(*protect),
 		policyTag: strings.ToLower(*policy),
 		epochs:    *epochs, epoch: jessica2.Time(epoch.Nanoseconds()),
 		seeds: *seeds, parallel: *parallel, workers: *workers, benchjson: *benchjson,
@@ -220,6 +236,14 @@ func parseArgs(args []string, errOut io.Writer) (*runConfig, error) {
 	}
 	if _, err := jessica2.ParseScenario(rc.scenSpec, rc.nodes, ss); err != nil {
 		return nil, err
+	}
+	switch rc.protect {
+	case "off", "none", "shed", "full", "auto":
+	default:
+		return nil, fmt.Errorf("unknown -protect %q (have off, shed, full, auto)", *protect)
+	}
+	if (rc.protect == "shed" || rc.protect == "full") && !rc.openLoop() {
+		return nil, fmt.Errorf("-protect %s needs an open-loop app (serve), got -app %s", rc.protect, rc.app)
 	}
 	pol, err := newPolicy(rc.policyTag, nil)
 	if err != nil {
@@ -279,6 +303,48 @@ func specApp(app string) (experiments.App, bool) {
 	return 0, false
 }
 
+// openLoop reports whether the configured app is schedule-driven.
+func (rc *runConfig) openLoop() bool {
+	w, err := newWorkload(rc.app)
+	if err != nil {
+		return false
+	}
+	_, ok := w.(jessica2.OpenLoop)
+	return ok
+}
+
+// protection resolves the -protect level: auto becomes full when the
+// failure-tolerance layer is armed on an open-loop app (serving through
+// failures wants the whole stack) and off otherwise, so plain serve runs
+// keep their classic byte-identical output.
+func (rc *runConfig) protection() string {
+	switch rc.protect {
+	case "auto":
+		if rc.recover && rc.openLoop() {
+			return "full"
+		}
+		return "off"
+	case "none":
+		return "off"
+	}
+	return rc.protect
+}
+
+// robustFor maps a resolved protection level onto a ServeMix robustness
+// config (nil = classic static path).
+func robustFor(level string) *jessica2.RobustConfig {
+	switch level {
+	case "shed":
+		// Deadline + admission control only: the tail is capped at the SLO
+		// but nothing stranded on a dead node is rescued.
+		full := jessica2.DefaultRobustConfig()
+		return &jessica2.RobustConfig{Deadline: full.Deadline, Capacity: full.Capacity}
+	case "full":
+		return jessica2.DefaultRobustConfig()
+	}
+	return nil
+}
+
 // ensureArrivals gives an open-loop app a default arrival schedule when the
 // chosen scenario does not carry one: a modest Poisson stream seeded like
 // the scenario, so `-app serve` works without an explicit arrival preset.
@@ -325,6 +391,9 @@ func (rc *runConfig) buildSession(scen *jessica2.Scenario, policy jessica2.Polic
 	w, err := newWorkload(rc.app)
 	if err != nil {
 		return nil, nil, err
+	}
+	if sm, ok := w.(*jessica2.ServeMix); ok {
+		sm.Robust = robustFor(rc.protection())
 	}
 	if err := sess.Launch(w, jessica2.Params{Threads: rc.threads, Seed: seed}); err != nil {
 		return nil, nil, err
@@ -649,6 +718,13 @@ func (rc *runConfig) runSeed(seed uint64, out io.Writer) (jessica2.Time, error) 
 
 	if snap := sess.Snapshot(); snap.Serve != nil {
 		fmt.Fprintf(out, "open-loop serving: %s\n\n", snap.Serve)
+		if sv := snap.Serve; sv.Robust {
+			fmt.Fprintf(out, "serving robustness (%s): slo-goodput %.0f/s (%d in SLO), shed %d, expired %d, failed fast %d\n",
+				rc.protection(), sv.SLOGoodputPerSec, sv.CompletedInSLO,
+				sv.Shed, sv.DeadlineExceeded, sv.FailedFast)
+			fmt.Fprintf(out, "  recovery work: %d retried, %d hedged (%d wins), %d rerouted, %d breaker opens, %d wasted attempts\n\n",
+				sv.Retried, sv.Hedged, sv.HedgeWins, sv.Rerouted, sv.BreakerOpens, sv.Wasted)
+		}
 	}
 
 	if rc.recover {

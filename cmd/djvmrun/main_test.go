@@ -74,11 +74,117 @@ func TestParseRejections(t *testing.T) {
 		"negative seeds":       {"-seeds", "-2"},
 		"negative parallel":    {"-parallel", "-1"},
 		"profile-out + seeds":  {"-profile-out", "x.j2pf", "-seeds", "2"},
+		"unknown protect":      {"-protect", "bogus"},
+		"protect closed-loop":  {"-app", "sor", "-protect", "full"},
+		"shed closed-loop":     {"-app", "kv", "-protect", "shed"},
 	}
 	for name, args := range cases {
 		if _, err := parse(t, args...); err == nil {
 			t.Errorf("%s (%v): accepted", name, args)
 		}
+	}
+}
+
+// TestParseProtect pins the -protect grammar and the auto resolution: off
+// unless -recover is armed on an open-loop app, where the full stack (and
+// only then) is installed.
+func TestParseProtect(t *testing.T) {
+	rc, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.protect != "auto" || rc.protection() != "off" || robustFor(rc.protection()) != nil {
+		t.Fatalf("default: protect=%q resolves %q", rc.protect, rc.protection())
+	}
+
+	rc, err = parse(t, "-app", "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.protection() != "off" {
+		t.Fatalf("serve without -recover resolved to %q", rc.protection())
+	}
+
+	rc, err = parse(t, "-app", "serve", "-recover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.protection() != "full" {
+		t.Fatalf("serve with -recover resolved to %q, want full", rc.protection())
+	}
+	full := robustFor(rc.protection())
+	if full == nil || full.MaxRetries == 0 || full.BreakerThreshold == 0 || full.HedgeQuantile == 0 {
+		t.Fatalf("full level missing mechanisms: %+v", full)
+	}
+
+	// -recover on a closed-loop app must NOT arm serving protection.
+	rc, err = parse(t, "-app", "kv", "-recover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.protection() != "off" {
+		t.Fatalf("closed-loop -recover resolved to %q", rc.protection())
+	}
+
+	rc, err = parse(t, "-app", "serve", "-protect", "shed", "-scenario", "crash+burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := robustFor(rc.protection())
+	if shed == nil || shed.Deadline <= 0 || shed.Capacity <= 0 {
+		t.Fatalf("shed level = %+v", shed)
+	}
+	if shed.MaxRetries != 0 || shed.HedgeQuantile != 0 || shed.BreakerThreshold != 0 {
+		t.Fatalf("shed level armed extra mechanisms: %+v", shed)
+	}
+
+	// An explicit level overrides auto's recover coupling.
+	rc, err = parse(t, "-app", "serve", "-recover", "-protect", "off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.protection() != "off" {
+		t.Fatalf("explicit off resolved to %q", rc.protection())
+	}
+}
+
+// TestParseScenarioPlusCombos: "+" and "," spell the same preset combo.
+func TestParseScenarioPlusCombos(t *testing.T) {
+	for _, spec := range []string{"crash+burst", "crash,burst", "flaky+burst"} {
+		if _, err := parse(t, "-app", "serve", "-scenario", spec); err != nil {
+			t.Errorf("-scenario %s rejected: %v", spec, err)
+		}
+	}
+}
+
+// TestExecuteRecoverServeSmoke is the end-to-end `-recover -app serve`
+// path: crash+burst arrivals with the auto-armed full protection stack.
+// The report must carry the serving line, the robustness tail, and the
+// failure-layer tail, and the detector must actually have fired.
+func TestExecuteRecoverServeSmoke(t *testing.T) {
+	rc, err := parse(t,
+		"-app", "serve", "-scenario", "crash+burst", "-recover",
+		"-nodes", "4", "-threads", "8", "-rate", "off", "-tcm=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rc.execute(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"open-loop serving:",
+		"serving robustness (full):",
+		"recovery work:",
+		"failure layer:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "failure layer: 0 lease expiries") {
+		t.Errorf("crash schedule never hit the detector:\n%s", out)
 	}
 }
 

@@ -126,6 +126,8 @@ type FailureStats struct {
 	FlushesAcked      int64
 	FlushesAbandoned  int64 // gave up after MaxFlushRetries
 	DuplicateFlushes  int64 // master-side dedup hits (re-acked, not re-ingested)
+	LockFailovers     int64 // locks re-homed off declared-dead managers
+	LockReclaims      int64 // wedged locks freed after their holder's node died
 }
 
 // NodeHealth is one node's liveness and flush-path state.
@@ -151,6 +153,29 @@ type HealthSnapshot struct {
 
 // FailureEnabled reports whether the failure-tolerance layer is on.
 func (k *Kernel) FailureEnabled() bool { return k.Cfg.Failure != nil }
+
+// AddHealthListener registers a callback on the failure detector's
+// declare-dead and revival transitions — the push form of the HealthSnapshot
+// poll, for consumers that must react at event granularity (the serving
+// path's circuit breakers re-dispatch a dead node's queued requests from
+// here). Listeners fire inside the detector's own engine events (the lease
+// sweep, a revival beat), so their ordering is as deterministic as the
+// detector itself. Registration alone schedules nothing and charges
+// nothing: a run with passive listeners is byte-identical to one without.
+// Listeners are never invoked when the failure layer is disabled.
+func (k *Kernel) AddHealthListener(fn func(node int, alive bool)) {
+	if fn == nil {
+		return
+	}
+	k.healthLs = append(k.healthLs, fn)
+}
+
+// notifyHealth fans a liveness transition out to the registered listeners.
+func (k *Kernel) notifyHealth(node int, alive bool) {
+	for _, fn := range k.healthLs {
+		fn(node, alive)
+	}
+}
 
 // FailureStats returns a snapshot of the failure-layer counters.
 func (k *Kernel) FailureStats() FailureStats { return k.fstats }
@@ -249,6 +274,7 @@ func (fd *failureDetector) startSweep() {
 				fd.declareDead(i)
 			}
 		}
+		fd.k.reclaimDeadHolderLocks()
 		fd.k.Eng.After(fc.SweepInterval, sweep)
 	}
 	fd.k.Eng.After(fc.SweepInterval, sweep)
@@ -264,6 +290,8 @@ func (fd *failureDetector) onBeat(node int) {
 	if fd.dead[node] {
 		fd.dead[node] = false
 		fd.k.fstats.NodeRecoveries++
+		fd.k.restoreLocks(node)
+		fd.k.notifyHealth(node, true)
 	}
 }
 
@@ -276,6 +304,8 @@ func (fd *failureDetector) onBeat(node int) {
 func (fd *failureDetector) declareDead(node int) {
 	fd.dead[node] = true
 	fd.k.fstats.LeaseExpiries++
+	fd.k.failoverLocks(node)
+	fd.k.notifyHealth(node, false)
 	fc := &fd.k.fcfg
 
 	var deadThreads []int

@@ -223,3 +223,129 @@ func TestFailureLayerOffIsInert(t *testing.T) {
 		t.Fatalf("ingested %d entries, want %d", got, want)
 	}
 }
+
+// deferDown mimics the scenario layer's transient-crash semantics: every
+// non-migration message touching the node inside [at, restart) is deferred
+// until the restart, as if queued at a dead NIC.
+type deferDown struct {
+	node        network.NodeID
+	at, restart sim.Time
+	eng         *sim.Engine
+}
+
+func (d *deferDown) Intercept(now sim.Time, from, to network.NodeID, primary network.Category, _ int) network.Verdict {
+	if primary == network.CatMigration {
+		return network.Verdict{}
+	}
+	if now >= d.at && now < d.restart && (from == d.node || to == d.node) {
+		return network.Verdict{Delay: d.restart - now}
+	}
+	return network.Verdict{}
+}
+
+// TestLockManagerFailover pins the lock-failover path: a lock managed by a
+// node that goes dark is re-homed onto the master, adrift requests are
+// resent under a fenced generation, and a holder whose release is lost
+// toward the outage has its lock reclaimed — so contenders on live nodes
+// keep making progress inside the outage window instead of stalling until
+// the restart delivers the deferred traffic.
+func TestLockManagerFailover(t *testing.T) {
+	const (
+		crashAt = 5 * sim.Millisecond
+		restart = 80 * sim.Millisecond
+		lockID  = 7 // 7 % 3 == 1: managed by the node that dies
+	)
+	k := failureKernel(3, TrackingOff, fastFailureConfig())
+	k.Net.SetInterceptor(&deferDown{node: 1, at: crashAt, restart: restart, eng: k.Eng})
+	cpu := k.Node(1).CPU()
+	k.Eng.Schedule(crashAt, func() { cpu.SetSpeed(0.05) })
+	k.Eng.Schedule(restart, func() { cpu.SetSpeed(1) })
+
+	// A lingering thread keeps the cluster beating past the restart so the
+	// revival (and the manager moving home) is observable.
+	k.SpawnThread(0, "linger", func(th *Thread) {
+		for th.Now() < restart+10*sim.Millisecond {
+			th.Compute(200 * sim.Microsecond)
+		}
+	})
+	var done [2]sim.Time
+	for i, node := range []int{0, 2} {
+		i, node := i, node
+		k.SpawnThread(node, "contender", func(th *Thread) {
+			for j := 0; j < 40; j++ {
+				th.Acquire(lockID)
+				th.Compute(100 * sim.Microsecond)
+				th.Release(lockID)
+			}
+			done[i] = th.Now()
+		})
+	}
+	k.Run()
+
+	fs := k.FailureStats()
+	if fs.LeaseExpiries == 0 {
+		t.Fatal("node 1 was never declared dead")
+	}
+	if fs.LockFailovers == 0 {
+		t.Fatal("no lock failed over despite its manager dying")
+	}
+	for i, at := range done {
+		if at == 0 {
+			t.Fatalf("contender %d never finished", i)
+		}
+		if at >= restart {
+			t.Errorf("contender %d finished at %v — only after the restart drained deferred traffic", i, at)
+		}
+	}
+	// The manager moved back once the node revived.
+	if home := k.lock(lockID).home; home != 1 {
+		t.Errorf("lock home after revival = %d, want 1", home)
+	}
+}
+
+// TestLockReclaimFreesDeadHoldersLock pins the sweep-side reclaim: a
+// holder on the dying node releases into the outage (the release message
+// is adrift until restart), and the detector sweep hands the lock to the
+// live waiter anyway, generation-fencing the stale release.
+func TestLockReclaimFreesDeadHoldersLock(t *testing.T) {
+	const (
+		crashAt = 5 * sim.Millisecond
+		restart = 80 * sim.Millisecond
+		lockID  = 8 // 8 % 3 == 2: managed by a node that stays healthy
+	)
+	k := failureKernel(3, TrackingOff, fastFailureConfig())
+	k.Net.SetInterceptor(&deferDown{node: 1, at: crashAt, restart: restart, eng: k.Eng})
+	cpu := k.Node(1).CPU()
+	k.Eng.Schedule(crashAt, func() { cpu.SetSpeed(0.05) })
+	k.Eng.Schedule(restart, func() { cpu.SetSpeed(1) })
+
+	// The doomed holder grabs the lock before the crash and releases into
+	// the outage (its CPU crawls, so the short compute spans the crash);
+	// the release toward the healthy manager is adrift from the dead node,
+	// so only the sweep-side reclaim can free the lock.
+	k.SpawnThread(1, "doomed", func(th *Thread) {
+		th.Acquire(lockID)
+		th.Compute(6 * sim.Millisecond)
+		th.Release(lockID)
+	})
+	var waiterDone sim.Time
+	k.SpawnThread(2, "waiter", func(th *Thread) {
+		th.Compute(2 * sim.Millisecond) // let the doomed holder win the lock
+		th.Acquire(lockID)
+		th.Compute(100 * sim.Microsecond)
+		th.Release(lockID)
+		waiterDone = th.Now()
+	})
+	k.Run()
+
+	fs := k.FailureStats()
+	if fs.LockReclaims == 0 {
+		t.Fatal("the wedged lock was never reclaimed")
+	}
+	if waiterDone == 0 {
+		t.Fatal("waiter never finished")
+	}
+	if waiterDone >= restart {
+		t.Errorf("waiter finished at %v — it waited out the outage instead of being granted the reclaimed lock", waiterDone)
+	}
+}

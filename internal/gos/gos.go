@@ -197,6 +197,9 @@ type Kernel struct {
 	fd     *failureDetector
 	fcfg   FailureConfig
 	fstats FailureStats
+	// healthLs are the registered push-form health listeners (the event
+	// feed behind HealthSnapshot); see AddHealthListener.
+	healthLs []func(node int, alive bool)
 }
 
 // newRecord returns a zeroed OAL record, reusing a recycled one if possible.

@@ -179,6 +179,7 @@ type protoMsg struct {
 	oal     *oal.Batch
 	sum     *tcm.Summary // distributed-TCM summary payload
 	data    any
+	gen     int64 // lock-manager generation (release fencing)
 }
 
 // handleMessage is the node's network handler; it runs in scheduler context.
@@ -204,11 +205,14 @@ func (n *Node) handleMessage(m *network.Message) {
 	case msgOALBatch:
 		n.receiveFlush(m.From, pm)
 	case msgLockReq:
-		n.k.lockRequest(pm.lock, m.From, pm.tok, pm.payload())
+		n.k.lockRequest(pm.lock, m.From, pm.tok, pm.gen, pm.payload())
 	case msgLockGrant:
+		if pm.gen != n.k.lock(pm.lock).gen {
+			return // superseded by a failover re-issue
+		}
 		n.completePending(pm.tok)
 	case msgLockRelease:
-		n.k.lockRelease(pm.lock)
+		n.k.lockRelease(pm.lock, pm.gen)
 	case msgBarrierArrive:
 		n.k.barrierArrive(pm.bar, m.From, pm.tok, pm.payload(), pm.parties)
 	case msgBarrierRelease:

@@ -2,15 +2,35 @@ package gos
 
 import (
 	"fmt"
+	"sort"
 
 	"jessica2/internal/network"
 )
 
-// lockState lives on the lock's manager node (id % nodes).
+// lockState lives on the lock's manager node — statically id % nodes, but
+// the manager fails over to the master while that node is declared dead
+// (see failoverLocks), so `home` is the current manager, not the hash.
 type lockState struct {
 	home  int
 	held  bool
 	queue []lockWaiter
+	// Failover bookkeeping. gen fences stale in-flight releases: a release
+	// lost toward a dead manager is accounted for by the failover rebuild,
+	// and its eventual delivery (the scenario layer defers such messages to
+	// the node's restart) must not unlock the next holder's critical
+	// section. holder/granting/holderDone are the survivor-side truth the
+	// rebuild consults: who was last granted, whether that grant is still
+	// on the wire, and whether the holder has already sent its release.
+	gen        int64
+	holder     *Thread
+	granting   bool
+	grantee    lockWaiter
+	holderDone bool
+	// inflight is the set of lock requests sent but not yet received by
+	// the manager — the survivor-side "I asked and heard nothing" truth.
+	// Failover resends them to the new manager under the bumped
+	// generation; the adrift originals are fenced on arrival.
+	inflight []lockWaiter
 }
 
 type lockWaiter struct {
@@ -23,10 +43,130 @@ func (k *Kernel) lockHome(id int) int { return id % len(k.nodes) }
 func (k *Kernel) lock(id int) *lockState {
 	ls := k.locks[id]
 	if ls == nil {
-		ls = &lockState{home: k.lockHome(id)}
+		home := k.lockHome(id)
+		if k.fd != nil && home > 0 && k.fd.dead[home] {
+			home = 0 // manager is down: the master adopts the lock
+		}
+		ls = &lockState{home: home}
 		k.locks[id] = ls
 	}
 	return ls
+}
+
+// LockAvailable reports whether the distributed lock is currently free at
+// its manager (not held and not mid-grant). The serving layer uses it to
+// tell a stripe that is merely busy from one whose lock is wedged behind a
+// holder stranded on a crashed node.
+func (k *Kernel) LockAvailable(id int) bool {
+	ls := k.locks[id]
+	return ls == nil || !ls.held
+}
+
+// failoverLocks re-homes every lock managed by the dead node onto the
+// master and rebuilds held-state from survivor-side truth: a lock whose
+// holder already sent its release (now lost in flight toward the dead
+// manager) is freed — granted to the next queued waiter — and its
+// generation bumped so the stale release is ignored when the dead node's
+// deferred traffic finally drains. Iteration is in lock-id order for
+// determinism.
+func (k *Kernel) failoverLocks(dead int) {
+	if dead == 0 {
+		return
+	}
+	ids := make([]int, 0, len(k.locks))
+	for id, ls := range k.locks {
+		if ls.home == dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ls := k.locks[id]
+		ls.home = 0
+		k.fstats.LockFailovers++
+		releaseLost := ls.held && !ls.granting && ls.holderDone
+		grantAdrift := ls.granting // issued by the dead manager, undelivered
+		if !releaseLost && !grantAdrift && len(ls.inflight) == 0 {
+			continue // nothing adrift: a plain re-home suffices
+		}
+		// Traffic is adrift toward the dead manager; supersede it.
+		ls.gen++
+		if releaseLost {
+			k.reclaimLock(id, ls)
+		} else if grantAdrift {
+			k.grantLock(id, ls, ls.grantee) // re-issue from the new manager
+		}
+		k.resendInflight(id, ls)
+	}
+}
+
+// resendInflight re-issues every adrift lock request under the lock's
+// current generation (the requester's runtime notices the manager change;
+// the blocked thread itself stays blocked until its grant). Every
+// generation bump must be followed by this, or the fence orphans the
+// adrift requesters. A resend from a node that is itself down travels
+// under that node's own fate — it arrives when the node does.
+func (k *Kernel) resendInflight(id int, ls *lockState) {
+	for _, w := range ls.inflight {
+		k.Net.Send(w.node, network.NodeID(ls.home), network.CatControl, 24,
+			&protoMsg{kind: msgLockReq, lock: id, tok: w.tok, gen: ls.gen})
+	}
+}
+
+// reclaimLock hands a released-but-wedged lock to its next waiter (or
+// frees it). The caller has already bumped the generation so the adrift
+// release is fenced on arrival.
+func (k *Kernel) reclaimLock(id int, ls *lockState) {
+	ls.holder = nil
+	ls.holderDone = false
+	if len(ls.queue) > 0 {
+		next := ls.queue[0]
+		copy(ls.queue, ls.queue[1:])
+		ls.queue = ls.queue[:len(ls.queue)-1]
+		k.grantLock(id, ls, next)
+	} else {
+		ls.held = false
+	}
+}
+
+// reclaimDeadHolderLocks frees every lock whose last holder already sent
+// its release from a node that has since been declared dead — the release
+// is adrift until that node restarts, and without reclamation the lock
+// (and every request serialized behind it) stays wedged for the whole
+// outage. Runs from the failure detector's sweep; lock-id order for
+// determinism.
+func (k *Kernel) reclaimDeadHolderLocks() {
+	ids := make([]int, 0, len(k.locks))
+	for id, ls := range k.locks {
+		if ls.held && !ls.granting && ls.holderDone &&
+			ls.holder != nil && k.fd.dead[ls.holder.node.id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ls := k.locks[id]
+		ls.gen++
+		k.fstats.LockReclaims++
+		k.reclaimLock(id, ls)
+		k.resendInflight(id, ls)
+	}
+}
+
+// restoreLocks returns management of the revived node's locks to it.
+// In-flight traffic is unaffected: lock state is kernel-global, and the
+// manager only determines message endpoints from here on.
+func (k *Kernel) restoreLocks(revived int) {
+	ids := make([]int, 0, len(k.locks))
+	for id, ls := range k.locks {
+		if ls.home != k.lockHome(id) && k.lockHome(id) == revived {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		k.locks[id].home = revived
+	}
 }
 
 // Acquire obtains the distributed lock, applying remote write notices on
@@ -34,7 +174,7 @@ func (k *Kernel) lock(id int) *lockState {
 // lazily). OALs piggyback on the request when the manager is the master.
 func (t *Thread) Acquire(lockID int) {
 	t.flushCPU()
-	home := t.k.lockHome(lockID)
+	home := t.k.lock(lockID).home
 	tok := t.node.newToken(t)
 	parts := []network.Part{{Cat: network.CatControl, Bytes: 24}}
 	var pl *oalPayload
@@ -43,12 +183,16 @@ func (t *Thread) Acquire(lockID int) {
 			parts = append(parts, network.Part{Cat: network.CatOAL, Bytes: pl.wire})
 		}
 	}
-	pm := &protoMsg{kind: msgLockReq, lock: lockID, tok: tok}
+	ls := t.k.lock(lockID)
+	ls.inflight = append(ls.inflight, lockWaiter{node: network.NodeID(t.node.id), tok: tok})
+	pm := &protoMsg{kind: msgLockReq, lock: lockID, tok: tok, gen: ls.gen}
 	if pl != nil {
 		pm.oal, pm.sum = pl.batch, pl.sum
 	}
 	t.k.Net.SendParts(network.NodeID(t.node.id), network.NodeID(home), parts, pm)
 	t.proc.Block(fmt.Sprintf("lock%d", lockID))
+	// The grant has landed: it is no longer on the wire.
+	t.k.lock(lockID).granting = false
 	t.node.advanceEpoch()
 	t.k.stats.LockAcquires++
 }
@@ -58,7 +202,9 @@ func (t *Thread) Acquire(lockID int) {
 func (t *Thread) Release(lockID int) {
 	t.closeInterval()
 	t.flushCPU()
-	home := t.k.lockHome(lockID)
+	ls := t.k.lock(lockID)
+	ls.holderDone = true
+	home := ls.home
 	parts := []network.Part{{Cat: network.CatControl, Bytes: 16}}
 	var pl *oalPayload
 	if home == 0 {
@@ -66,45 +212,75 @@ func (t *Thread) Release(lockID int) {
 			parts = append(parts, network.Part{Cat: network.CatOAL, Bytes: pl.wire})
 		}
 	}
-	pm := &protoMsg{kind: msgLockRelease, lock: lockID}
+	pm := &protoMsg{kind: msgLockRelease, lock: lockID, gen: ls.gen}
 	if pl != nil {
 		pm.oal, pm.sum = pl.batch, pl.sum
 	}
 	t.k.Net.SendParts(network.NodeID(t.node.id), network.NodeID(home), parts, pm)
 }
 
-// lockRequest runs on the manager node (scheduler context).
-func (k *Kernel) lockRequest(id int, from network.NodeID, tok int64, pl *oalPayload) {
+// lockRequest runs on the manager node (scheduler context). A request from
+// a superseded generation was already resent to the failover manager by the
+// time the adrift original drains; granting it twice would double-wake the
+// requester, so it is dropped (its piggybacked payload still ingests — the
+// data is real regardless of the lock protocol's fate).
+func (k *Kernel) lockRequest(id int, from network.NodeID, tok int64, gen int64, pl *oalPayload) {
 	k.master.IngestPayload(pl)
 	ls := k.lock(id)
+	for i, w := range ls.inflight {
+		if w.node == from && w.tok == tok {
+			ls.inflight = append(ls.inflight[:i], ls.inflight[i+1:]...)
+			break
+		}
+	}
+	if gen != ls.gen {
+		return
+	}
 	k.Eng.After(k.Cfg.Costs.LockServiceCost, func() {
 		if !ls.held {
 			ls.held = true
-			k.grantLock(ls, lockWaiter{node: from, tok: tok})
+			k.grantLock(id, ls, lockWaiter{node: from, tok: tok})
 			return
 		}
 		ls.queue = append(ls.queue, lockWaiter{node: from, tok: tok})
 	})
 }
 
-// lockRelease runs on the manager node.
-func (k *Kernel) lockRelease(id int) {
+// lockRelease runs on the manager node. A release from a superseded
+// generation was already accounted by a failover rebuild and is dropped.
+func (k *Kernel) lockRelease(id int, gen int64) {
 	ls := k.lock(id)
+	if gen != ls.gen {
+		return
+	}
 	k.Eng.After(k.Cfg.Costs.LockServiceCost, func() {
+		if gen != ls.gen {
+			return // rebuilt while the service cost elapsed
+		}
 		if len(ls.queue) == 0 {
 			ls.held = false
+			ls.holder = nil
+			ls.holderDone = false
 			return
 		}
 		next := ls.queue[0]
 		copy(ls.queue, ls.queue[1:])
 		ls.queue = ls.queue[:len(ls.queue)-1]
-		k.grantLock(ls, next)
+		k.grantLock(id, ls, next)
 	})
 }
 
-func (k *Kernel) grantLock(ls *lockState, w lockWaiter) {
+// grantLock issues the grant from the lock's current manager. Grants are
+// generation-stamped like releases: a grant adrift toward (or from) a dead
+// node can be superseded by a failover re-issue, and only the current
+// generation's copy may wake the grantee.
+func (k *Kernel) grantLock(id int, ls *lockState, w lockWaiter) {
+	ls.holder = k.nodes[int(w.node)].pending[w.tok]
+	ls.granting = true
+	ls.grantee = w
+	ls.holderDone = false
 	k.Net.Send(network.NodeID(ls.home), w.node, network.CatControl, 16,
-		&protoMsg{kind: msgLockGrant, tok: w.tok})
+		&protoMsg{kind: msgLockGrant, lock: id, tok: w.tok, gen: ls.gen})
 }
 
 // barrierState lives on the master node.

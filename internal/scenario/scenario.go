@@ -469,15 +469,17 @@ func Preset(name string, nodes int, seed uint64) (*Scenario, error) {
 	}
 }
 
-// Parse builds a scenario from a comma-separated list of preset names
-// (merged in order). "", "none" and "off" yield nil.
+// Parse builds a scenario from a list of preset names merged in order,
+// separated by "," or "+" ("crash+burst" and "crash,burst" are the same
+// combo — "+" reads naturally for failure×arrival pairings on a command
+// line). "", "none" and "off" yield nil.
 func Parse(spec string, nodes int, seed uint64) (*Scenario, error) {
 	spec = strings.TrimSpace(spec)
 	switch strings.ToLower(spec) {
 	case "", "none", "off":
 		return nil, nil
 	}
-	names := strings.Split(spec, ",")
+	names := strings.Split(strings.ReplaceAll(spec, "+", ","), ",")
 	if len(names) == 1 {
 		return Preset(names[0], nodes, seed)
 	}

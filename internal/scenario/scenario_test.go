@@ -120,6 +120,25 @@ func TestParseSpecs(t *testing.T) {
 	if _, err := Parse("hetero,bogus", 8, 1); err == nil {
 		t.Error("Parse with unknown preset should fail")
 	}
+	// "+" is an alias separator for failure×arrival combos; the merged
+	// scenario must match the comma spelling (modulo the display name).
+	plus, err := Parse("crash+burst", 4, 7)
+	if err != nil {
+		t.Fatalf("Parse(crash+burst): %v", err)
+	}
+	comma, err := Parse("crash,burst", 4, 7)
+	if err != nil {
+		t.Fatalf("Parse(crash,burst): %v", err)
+	}
+	if plus.Arrivals == nil || comma.Arrivals == nil {
+		t.Fatal("combo lost the burst arrival spec")
+	}
+	if len(plus.Crashes) != len(comma.Crashes) || len(plus.Crashes) == 0 {
+		t.Errorf("combo crashes: + form %d, comma form %d", len(plus.Crashes), len(comma.Crashes))
+	}
+	if plus.Name != "crash+burst" {
+		t.Errorf("combo name = %q, want original spec", plus.Name)
+	}
 }
 
 func TestValidateRejectsBadSpecs(t *testing.T) {

@@ -216,6 +216,14 @@ func (s *Session) Launch(w workload.Workload, p workload.Params) error {
 		if !ol.HasSchedule() {
 			return fmt.Errorf("jessica2: open-loop workload %s has no arrival schedule (set Scenario.Arrivals or SetSchedule)", w.Name())
 		}
+		// A workload carrying serving-robustness configuration (e.g.
+		// ServeMix.Robust) gets to reject it here, turning a bad config
+		// into a launch error instead of a mid-run panic.
+		if v, ok := w.(interface{ ValidateServing() error }); ok {
+			if err := v.ValidateServing(); err != nil {
+				return err
+			}
+		}
 		s.openLoops = append(s.openLoops, ol)
 	}
 	seedTCM := false

@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"jessica2/internal/gos"
+	"jessica2/internal/sim"
+)
+
+// robustSchedule builds a uniform arrival schedule: n requests spaced gap
+// apart starting at start.
+func robustSchedule(n int, start, gap sim.Time) []sim.Time {
+	s := make([]sim.Time, n)
+	for i := range s {
+		s[i] = start + sim.Time(i)*gap
+	}
+	return s
+}
+
+// runRobustServe launches a ServeMix with the given robustness config on a
+// fresh kernel and returns its final stats line.
+func runRobustServe(t *testing.T, rc *RobustConfig, fc *gos.FailureConfig, crash func(*gos.Kernel), sched []sim.Time) (*ServeStats, *ServeMix) {
+	t.Helper()
+	cfg := gos.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Tracking = gos.TrackingOff
+	cfg.Failure = fc
+	k := gos.NewKernel(cfg)
+	w := NewServeMix()
+	w.Robust = rc
+	w.SetSchedule(sched)
+	if crash != nil {
+		crash(k)
+	}
+	w.Launch(k, Params{Threads: 8, Seed: 42})
+	end := k.Run()
+	return w.ServeStatsInto(nil, end), w
+}
+
+// TestCensoredPercentile pins how non-completions enter the percentile
+// ranking: they sit above every completion at the deadline value, so P50/
+// P95/P99 over done+censored flip to the deadline exactly when the rank
+// crosses into the censored tail.
+func TestCensoredPercentile(t *testing.T) {
+	// 90 completions 1..90us, 10 censored at 1ms: ranks 91..100.
+	lat := make([]sim.Time, 90)
+	for i := range lat {
+		lat[i] = sim.Time(i+1) * sim.Microsecond
+	}
+	const dl = sim.Millisecond
+	cases := []struct {
+		q    float64
+		want sim.Time
+	}{
+		{0.50, 50 * sim.Microsecond}, // rank 50: still a completion
+		{0.90, 90 * sim.Microsecond}, // rank 90: the last completion
+		{0.95, dl},                   // rank 95: censored
+		{0.99, dl},                   // rank 99: censored
+	}
+	for _, c := range cases {
+		if got := censoredPercentile(lat, 10, dl, c.q); got != c.want {
+			t.Errorf("censoredPercentile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// No censoring == plain percentile, for every rank.
+	for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+		if censoredPercentile(lat, 0, 0, q) != percentile(lat, q) {
+			t.Fatalf("censoredPercentile(censored=0, q=%v) diverges from percentile", q)
+		}
+	}
+	// All censored: every rank is the deadline.
+	if got := censoredPercentile(nil, 5, dl, 0.5); got != dl {
+		t.Errorf("all-censored P50 = %v, want %v", got, dl)
+	}
+	if got := censoredPercentile(nil, 0, dl, 0.5); got != 0 {
+		t.Errorf("empty censoredPercentile = %v, want 0", got)
+	}
+}
+
+// TestServeStatsCensoredView checks the snapshot math when requests were
+// shed or expired: in-flight excludes them, percentiles and max price them
+// at the deadline, and the SLO pair counts only true completions within
+// the bound.
+func TestServeStatsCensoredView(t *testing.T) {
+	w := NewServeMix()
+	w.Robust = &RobustConfig{Deadline: sim.Millisecond}
+	w.SetSchedule(robustSchedule(10, 0, sim.Microsecond))
+	w.state.reset(10)
+	w.state.slo = sim.Millisecond
+	for i := 0; i < 6; i++ {
+		w.state.record(sim.Time(i+1) * 100 * sim.Microsecond)
+	}
+	w.state.shed = 1
+	w.state.censor(sim.Millisecond) // the shed one
+	w.state.expired = 2
+	w.state.censor(sim.Millisecond)
+	w.state.censor(sim.Millisecond)
+
+	st := w.ServeStatsInto(nil, 10*sim.Millisecond)
+	if st.Arrived != 10 || st.Completed != 6 {
+		t.Fatalf("arrived %d done %d, want 10/6", st.Arrived, st.Completed)
+	}
+	if st.InFlight != 1 { // 10 arrived - 6 done - 3 censored
+		t.Fatalf("inflight %d, want 1", st.InFlight)
+	}
+	if st.Shed != 1 || st.DeadlineExceeded != 2 {
+		t.Fatalf("shed %d expired %d, want 1/2", st.Shed, st.DeadlineExceeded)
+	}
+	// 9 samples: 6 completions (100..600us) + 3 censored at 1ms.
+	// P50 = rank 5 = 500us; P95 and P99 = rank 9 = censored.
+	if st.LatencyP50 != 500*sim.Microsecond {
+		t.Errorf("P50 = %v, want 500us", st.LatencyP50)
+	}
+	if st.LatencyP95 != sim.Millisecond || st.LatencyP99 != sim.Millisecond {
+		t.Errorf("P95/P99 = %v/%v, want 1ms censored", st.LatencyP95, st.LatencyP99)
+	}
+	if st.LatencyMax != sim.Millisecond {
+		t.Errorf("max = %v, want censored 1ms", st.LatencyMax)
+	}
+	if st.CompletedInSLO != 6 || st.SLOGoodputPerSec != 600 {
+		t.Errorf("in-slo %d slo-goodput %v, want 6 @ 600/s", st.CompletedInSLO, st.SLOGoodputPerSec)
+	}
+	if !strings.Contains(st.String(), "slo-goodput") {
+		t.Error("robust stats line missing robustness tail")
+	}
+}
+
+// TestServeStatsOffPathUnchanged pins byte-invisibility of the layer when
+// disabled: no robust tail in the stats line, zero counters, and the
+// legacy in-flight arithmetic.
+func TestServeStatsOffPathUnchanged(t *testing.T) {
+	w := NewServeMix()
+	w.SetSchedule(robustSchedule(4, 0, sim.Millisecond))
+	w.state.reset(4)
+	w.state.record(100 * sim.Microsecond)
+	st := w.ServeStatsInto(nil, 10*sim.Millisecond)
+	if st.Robust {
+		t.Fatal("Robust flag set with layer off")
+	}
+	if st.InFlight != 3 {
+		t.Fatalf("off-path inflight %d, want 3", st.InFlight)
+	}
+	line := st.String()
+	if strings.Contains(line, "slo") || strings.Contains(line, "shed") {
+		t.Fatalf("off-path stats line grew a robust tail: %q", line)
+	}
+	if st.Shed != 0 || st.DeadlineExceeded != 0 || st.Retried != 0 || st.Hedged != 0 {
+		t.Fatal("off-path robust counters non-zero")
+	}
+}
+
+// TestRobustConfigValidate rejects the nonsense configs session.Launch
+// screens for.
+func TestRobustConfigValidate(t *testing.T) {
+	bad := []*RobustConfig{
+		{},                            // no deadline
+		{Deadline: -sim.Millisecond},  // negative deadline
+		{Deadline: 1, Capacity: -1},   // negative capacity
+		{Deadline: 1, MaxRetries: -1}, // negative retries
+		{Deadline: 1, HedgeQuantile: 1.5},
+		{Deadline: 1, AttemptTimeout: -1},
+	}
+	for i, rc := range bad {
+		if rc.Validate() == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	if err := DefaultRobustConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (&RobustConfig{Deadline: sim.Millisecond, Capacity: 4}).Validate(); err != nil {
+		t.Fatalf("shed-only config invalid: %v", err)
+	}
+}
+
+// TestRobustServeHealthy runs the full stack on a healthy cluster: every
+// request must reach a terminal state, and with no faults and a generous
+// deadline they should all complete within it.
+func TestRobustServeHealthy(t *testing.T) {
+	rc := DefaultRobustConfig()
+	// Arrivals start at 10ms (past worker 0's bootstrap) and well under the
+	// pool's service rate, so nothing should time out, shed, or fail.
+	st, _ := runRobustServe(t, rc, nil, nil, robustSchedule(400, 10*sim.Millisecond, 200*sim.Microsecond))
+	if st.Completed+int(st.Shed+st.DeadlineExceeded+st.FailedFast) != 400 {
+		t.Fatalf("requests leaked: %s", st)
+	}
+	if st.Completed != 400 {
+		t.Fatalf("healthy cluster dropped requests: %s", st)
+	}
+	if st.CompletedInSLO != st.Completed {
+		t.Fatalf("completion past deadline recorded: in-slo %d done %d", st.CompletedInSLO, st.Completed)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("inflight %d after run end", st.InFlight)
+	}
+}
+
+// TestRobustShedsAtCapacity drives simultaneous arrivals through a
+// capacity-1 admission gate: all but the admissible few must be shed, and
+// shed requests must surface in the percentiles as deadline-priced misses.
+func TestRobustShedsAtCapacity(t *testing.T) {
+	rc := &RobustConfig{Deadline: 5 * sim.Millisecond, Capacity: 1}
+	sched := make([]sim.Time, 64)
+	for i := range sched {
+		sched[i] = sim.Millisecond // one instant burst
+	}
+	st, _ := runRobustServe(t, rc, nil, nil, sched)
+	if st.Shed == 0 {
+		t.Fatalf("no shedding at capacity 1: %s", st)
+	}
+	if st.Completed+int(st.Shed+st.DeadlineExceeded+st.FailedFast) != 64 {
+		t.Fatalf("requests leaked: %s", st)
+	}
+	if st.LatencyP99 != rc.Deadline {
+		t.Fatalf("P99 = %v, want deadline %v (shed tail censored)", st.LatencyP99, rc.Deadline)
+	}
+}
+
+// TestRobustDeterminism pins byte-identity of two identical robust runs,
+// including one with the failure layer and a mid-run crash.
+func TestRobustDeterminism(t *testing.T) {
+	fc := &gos.FailureConfig{
+		HeartbeatInterval: 1 * sim.Millisecond,
+		LeaseTimeout:      3 * sim.Millisecond,
+		SweepInterval:     1 * sim.Millisecond,
+		FlushTimeout:      2 * sim.Millisecond,
+		FlushBackoff:      1 * sim.Millisecond,
+		MaxFlushBackoff:   8 * sim.Millisecond,
+		MaxFlushRetries:   4,
+	}
+	crash := func(k *gos.Kernel) {
+		cpu := k.Node(1).CPU()
+		k.Eng.Schedule(4*sim.Millisecond, func() { cpu.SetSpeed(0.05) })
+		k.Eng.Schedule(14*sim.Millisecond, func() { cpu.SetSpeed(1) })
+	}
+	run := func() string {
+		st, _ := runRobustServe(t, DefaultRobustConfig(), fc, crash,
+			robustSchedule(300, sim.Millisecond, 60*sim.Microsecond))
+		return st.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("robust run not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestRobustBreakerOnCrash crashes a node mid-run with breakers armed: the
+// declare-dead push must open the node's breaker, stranded work must be
+// rerouted or censored, and every request must still be terminal by its
+// deadline — none may simply vanish from the ledger.
+func TestRobustBreakerOnCrash(t *testing.T) {
+	fc := &gos.FailureConfig{
+		HeartbeatInterval: 1 * sim.Millisecond,
+		LeaseTimeout:      3 * sim.Millisecond,
+		SweepInterval:     1 * sim.Millisecond,
+		FlushTimeout:      2 * sim.Millisecond,
+		FlushBackoff:      1 * sim.Millisecond,
+		MaxFlushBackoff:   8 * sim.Millisecond,
+		MaxFlushRetries:   4,
+	}
+	crash := func(k *gos.Kernel) {
+		cpu := k.Node(1).CPU()
+		k.Eng.Schedule(4*sim.Millisecond, func() { cpu.SetSpeed(0.05) })
+	}
+	st, _ := runRobustServe(t, DefaultRobustConfig(), fc, crash,
+		robustSchedule(300, sim.Millisecond, 60*sim.Microsecond))
+	if st.BreakerOpens == 0 {
+		t.Fatalf("crashed node never opened a breaker: %s", st)
+	}
+	total := st.Completed + int(st.Shed+st.DeadlineExceeded+st.FailedFast)
+	if total != 300 {
+		t.Fatalf("requests leaked (%d terminal of 300): %s", total, st)
+	}
+	if st.Completed == 0 {
+		t.Fatalf("no requests served through the crash: %s", st)
+	}
+}

@@ -59,6 +59,18 @@ type ServeMix struct {
 	// Locks is the session lock stripe count.
 	Locks int
 
+	// Robust, when non-nil, routes serving through the request-lifecycle
+	// robustness layer (deadlines, shedding, retries, hedging, circuit
+	// breakers — see RobustConfig in robust.go) instead of the static
+	// precomputed schedule. Nil keeps the classic path byte-identical.
+	Robust *RobustConfig
+	// SLO, when > 0 with Robust nil, enables within-SLO accounting
+	// (ServeStats.CompletedInSLO / SLOGoodputPerSec) without changing any
+	// serving behavior — reporting only, for comparing an unprotected run
+	// against protected ones at the same target. Ignored when Robust is
+	// set (Robust.Deadline is the SLO then).
+	SLO sim.Time
+
 	schedule []sim.Time // injected arrival schedule, sorted ascending
 	tenant   []int32    // per-request tenant draw, precomputed at Launch
 
@@ -132,23 +144,33 @@ func (w *ServeMix) Launch(k *gos.Kernel, p Params) {
 		w.CachePerTenant = 1
 	}
 	reg := k.Reg
-	sessClass := reg.Class("ServeSession")
-	if sessClass == nil {
+	setup := &serveSetup{
+		mHandle: &stack.Method{Name: "ServeMix.handle"},
+		mRPC:    &stack.Method{Name: "ServeMix.rpc"},
+		mStore:  &stack.Method{Name: "ServeMix.store"},
+	}
+	setup.sessClass = reg.Class("ServeSession")
+	if setup.sessClass == nil {
 		// Ref 0 chains sessions for the sticky-set resolver; ref 1 points
 		// at the tenant's first cache entry.
-		sessClass = reg.DefineClass("ServeSession", w.ValueSize, 2)
+		setup.sessClass = reg.DefineClass("ServeSession", w.ValueSize, 2)
 	}
-	cacheClass := reg.Class("ServeCache")
-	if cacheClass == nil {
-		cacheClass = reg.DefineClass("ServeCache", w.ValueSize, 1)
+	setup.cacheClass = reg.Class("ServeCache")
+	if setup.cacheClass == nil {
+		setup.cacheClass = reg.DefineClass("ServeCache", w.ValueSize, 1)
 	}
-	confClass := reg.Class("ServeConfig")
-	if confClass == nil {
-		confClass = reg.DefineClass("ServeConfig", 64, 0)
+	setup.confClass = reg.Class("ServeConfig")
+	if setup.confClass == nil {
+		setup.confClass = reg.DefineClass("ServeConfig", 64, 0)
 	}
 	w.sessions = make([]*heap.Object, w.Tenants)
 	w.caches = make([]*heap.Object, w.Tenants*w.CachePerTenant)
 	w.state.reset(len(w.schedule))
+	if w.Robust != nil {
+		w.state.slo = w.Robust.Deadline
+	} else {
+		w.state.slo = w.SLO
+	}
 
 	// Per-request tenant draws: zipf rank over the rotating hot window,
 	// a pure function of (seed, schedule).
@@ -156,6 +178,14 @@ func (w *ServeMix) Launch(k *gos.Kernel, p Params) {
 	w.tenant = make([]int32, len(w.schedule))
 	for i, at := range w.schedule {
 		w.tenant[i] = int32((w.hotBase(at) + zipf.Rank()) % w.Tenants)
+	}
+
+	setup.placement = p.placement(k.NumNodes())
+	setup.parties = barrierParties(p)
+
+	if w.Robust != nil {
+		w.launchRobust(k, p, setup)
+		return
 	}
 
 	// Sticky tenant routing: primary worker by tenant hash, replica half
@@ -174,83 +204,106 @@ func (w *ServeMix) Launch(k *gos.Kernel, p Params) {
 		byWorker[worker] = append(byWorker[worker], i)
 	}
 
-	placement := p.placement(k.NumNodes())
-	parties := barrierParties(p)
-
-	mHandle := &stack.Method{Name: "ServeMix.handle"}
-	mRPC := &stack.Method{Name: "ServeMix.rpc"}
-	mStore := &stack.Method{Name: "ServeMix.store"}
-
 	for tid := 0; tid < p.Threads; tid++ {
 		tid := tid
 		reqs := byWorker[tid]
 		rng := xrand.New(p.Seed).Derive(uint64(tid) + 6211)
-		k.SpawnThread(placement[tid], fmt.Sprintf("serve-%d", tid), func(t *gos.Thread) {
-			// Bootstrap: worker 0 loads every session and cache entry, so
-			// all homes start on its node — the centralized placement the
-			// closed-loop policy exists to fix.
+		k.SpawnThread(setup.placement[tid], fmt.Sprintf("serve-%d", tid), func(t *gos.Thread) {
 			if tid == 0 {
-				var prev *heap.Object
-				for i := 0; i < w.Tenants; i++ {
-					o := t.Alloc(sessClass)
-					if prev != nil {
-						prev.Refs[0] = o
-					}
-					prev = o
-					w.sessions[i] = o
-					t.Write(o)
-					for c := 0; c < w.CachePerTenant; c++ {
-						e := t.Alloc(cacheClass)
-						if c == 0 {
-							o.Refs[1] = e
-						}
-						w.caches[i*w.CachePerTenant+c] = e
-						t.Write(e)
-					}
-				}
-				w.config = t.Alloc(confClass)
-				t.Write(w.config)
+				w.bootstrap(t, setup)
 			}
-			t.Barrier(0, parties)
+			t.Barrier(0, setup.parties)
 
 			for _, i := range reqs {
 				at := w.schedule[i]
 				t.SleepUntil(at)
-				tenant := int(w.tenant[i])
-				sess := w.sessions[tenant]
-
-				f := t.Stack.Push(mHandle, 1)
-				f.SetRef(0, sess)
-				t.Acquire(serveLockBase + tenant%w.Locks)
-				t.Read(sess)
-				t.Compute(w.FrontCost)
-				for b := 0; b < w.FanOut; b++ {
-					fr := t.Stack.Push(mRPC, 1)
-					idx := tenant*w.CachePerTenant + rng.Intn(w.CachePerTenant)
-					entry := w.caches[idx]
-					fr.SetRef(0, entry)
-					st := t.Stack.Push(mStore, 1)
-					st.SetRef(0, entry)
-					if rng.Float64() < w.WriteFraction {
-						t.Write(entry)
-					} else {
-						t.Read(entry)
-					}
-					if rng.Float64() < 0.05 {
-						t.Read(w.config) // shared config refresh
-					}
-					t.Stack.Pop()
-					t.Compute(w.BackendCost)
-					t.Stack.Pop()
-				}
-				t.Write(sess) // session state update
-				t.Release(serveLockBase + tenant%w.Locks)
-				t.Stack.Pop()
-
+				w.serveOne(t, rng, int(w.tenant[i]), setup)
 				w.state.record(t.Now() - at)
 			}
 		})
 	}
+}
+
+// serveSetup carries the launch-time wiring shared by the static and
+// robust serving paths: object classes, call-graph methods, thread
+// placement and the bootstrap barrier width.
+type serveSetup struct {
+	sessClass, cacheClass, confClass *heap.Class
+	mHandle, mRPC, mStore            *stack.Method
+	placement                        []int
+	parties                          int
+}
+
+// bootstrap is worker 0's loader phase: every session and cache entry is
+// allocated here, so all homes start on its node — the centralized
+// placement the policy exists to fix.
+func (w *ServeMix) bootstrap(t *gos.Thread, s *serveSetup) {
+	var prev *heap.Object
+	for i := 0; i < w.Tenants; i++ {
+		o := t.Alloc(s.sessClass)
+		if prev != nil {
+			prev.Refs[0] = o
+		}
+		prev = o
+		w.sessions[i] = o
+		t.Write(o)
+		for c := 0; c < w.CachePerTenant; c++ {
+			e := t.Alloc(s.cacheClass)
+			if c == 0 {
+				o.Refs[1] = e
+			}
+			w.caches[i*w.CachePerTenant+c] = e
+			t.Write(e)
+		}
+	}
+	w.config = t.Alloc(s.confClass)
+	t.Write(w.config)
+}
+
+// serveOne executes one request's 3-level call graph on the calling worker
+// thread: frontend handler under the tenant's session lock, FanOut backend
+// RPCs against the tenant's cache partition, session write-back. Both
+// serving paths run requests through this body, so the robust layer serves
+// exactly the work the static path does.
+func (w *ServeMix) serveOne(t *gos.Thread, rng *xrand.Rand, tenant int, s *serveSetup) {
+	sess := w.sessions[tenant]
+
+	f := t.Stack.Push(s.mHandle, 1)
+	f.SetRef(0, sess)
+	t.Acquire(serveLockBase + tenant%w.Locks)
+	t.Read(sess)
+	t.Compute(w.FrontCost)
+	for b := 0; b < w.FanOut; b++ {
+		fr := t.Stack.Push(s.mRPC, 1)
+		idx := tenant*w.CachePerTenant + rng.Intn(w.CachePerTenant)
+		entry := w.caches[idx]
+		fr.SetRef(0, entry)
+		st := t.Stack.Push(s.mStore, 1)
+		st.SetRef(0, entry)
+		if rng.Float64() < w.WriteFraction {
+			t.Write(entry)
+		} else {
+			t.Read(entry)
+		}
+		if rng.Float64() < 0.05 {
+			t.Read(w.config) // shared config refresh
+		}
+		t.Stack.Pop()
+		t.Compute(w.BackendCost)
+		t.Stack.Pop()
+	}
+	t.Write(sess) // session state update
+	t.Release(serveLockBase + tenant%w.Locks)
+	t.Stack.Pop()
+}
+
+// ValidateServing lets the session layer reject a bad robustness config at
+// Launch time instead of panicking mid-run.
+func (w *ServeMix) ValidateServing() error {
+	if w.Robust == nil {
+		return nil
+	}
+	return w.Robust.Validate()
 }
 
 // --- open-loop serving statistics -------------------------------------------
@@ -258,36 +311,84 @@ func (w *ServeMix) Launch(k *gos.Kernel, p Params) {
 // ServeStats is the open-loop serving view surfaced in epoch snapshots:
 // request progress, in-flight depth, goodput, and tail latency measured on
 // the simulated clock (arrival to completion, so queueing delay counts).
+//
+// Percentile semantics under the robustness layer: requests that never
+// complete — shed at admission, failed fast with no live replica, or
+// censored by their deadline — enter the latency distribution at the
+// deadline value (right-censoring at the SLO). P50/P95/P99 and LatencyMax
+// therefore rank over Completed + Shed + FailedFast + DeadlineExceeded
+// samples, with every non-completion counting as a deadline-priced miss;
+// a protected run cannot make its tail look better by dropping requests.
+// With the layer off nothing is censored and the percentiles rank over
+// completions only, exactly as before.
 type ServeStats struct {
 	// Arrived counts requests whose scheduled arrival is <= now; Completed
 	// counts requests served; InFlight is the backlog (queued + in
-	// service) at now.
+	// service) at now, excluding requests already shed/failed/expired.
 	Arrived, Completed, InFlight int
 	// GoodputPerSec is completed requests per simulated second so far.
 	GoodputPerSec float64
-	// Latency percentiles (nearest-rank) and maximum over all completed
-	// requests, on the simulated clock.
+	// Latency percentiles (nearest-rank) and maximum, on the simulated
+	// clock, over completions plus censored non-completions (see above).
 	LatencyP50, LatencyP95, LatencyP99, LatencyMax sim.Time
+
+	// Robust reports whether the robustness layer was on; the fields below
+	// are only populated (and only printed) when it is, except the SLO
+	// pair which also fills under reporting-only ServeMix.SLO.
+	Robust bool
+	// CompletedInSLO counts completions within the deadline/SLO;
+	// SLOGoodputPerSec is that count per simulated second (goodput that
+	// actually met the target — the headline robustness metric).
+	CompletedInSLO   int
+	SLOGoodputPerSec float64
+	// Shed requests were rejected at admission (capacity exceeded);
+	// DeadlineExceeded were censored by their deadline; FailedFast had no
+	// admissible worker (all breakers open) and no retries left.
+	Shed, DeadlineExceeded, FailedFast int64
+	// Retried and Hedged count extra dispatches; HedgeWins are requests
+	// whose hedge finished first. Rerouted counts dispatches steered off
+	// the sticky pair by an open breaker (including crash-time
+	// re-dispatches of stranded queued work); BreakerOpens counts
+	// closed/half-open -> open transitions. Wasted counts attempt
+	// completions that arrived after their request was already decided.
+	Retried, Hedged, HedgeWins, Rerouted, BreakerOpens, Wasted int64
 }
 
 func (s *ServeStats) String() string {
-	return fmt.Sprintf("arrived %d done %d inflight %d goodput %.0f/s p50 %v p95 %v p99 %v max %v",
+	if !s.Robust {
+		return fmt.Sprintf("arrived %d done %d inflight %d goodput %.0f/s p50 %v p95 %v p99 %v max %v",
+			s.Arrived, s.Completed, s.InFlight, s.GoodputPerSec,
+			s.LatencyP50, s.LatencyP95, s.LatencyP99, s.LatencyMax)
+	}
+	return fmt.Sprintf("arrived %d done %d inflight %d goodput %.0f/s p50 %v p95 %v p99 %v max %v | slo-goodput %.0f/s in-slo %d shed %d expired %d failed %d retried %d hedged %d hedge-wins %d rerouted %d breaker-opens %d wasted %d",
 		s.Arrived, s.Completed, s.InFlight, s.GoodputPerSec,
-		s.LatencyP50, s.LatencyP95, s.LatencyP99, s.LatencyMax)
+		s.LatencyP50, s.LatencyP95, s.LatencyP99, s.LatencyMax,
+		s.SLOGoodputPerSec, s.CompletedInSLO,
+		s.Shed, s.DeadlineExceeded, s.FailedFast,
+		s.Retried, s.Hedged, s.HedgeWins, s.Rerouted, s.BreakerOpens, s.Wasted)
 }
 
 // serveState accumulates completions; recording appends in completion
-// order, percentile queries sort a reusable scratch copy.
+// order, percentile queries sort a reusable scratch copy. The robust
+// counters and the censor ledger stay zero on the static path, keeping
+// the off-layer stats byte-identical.
 type serveState struct {
 	latencies []sim.Time
 	scratch   []sim.Time
 	maxLat    sim.Time
+
+	slo       sim.Time // within-SLO accounting bound; 0 disables
+	inSLO     int
+	censored  int      // non-completions priced into the distribution
+	censorLat sim.Time // the value they enter at (the deadline)
+
+	shed, expired, failedFast                          int64
+	retried, hedged, hedgeWins, rerouted, breakerOpens int64
+	wasted                                             int64
 }
 
 func (st *serveState) reset(capacity int) {
-	st.latencies = make([]sim.Time, 0, capacity)
-	st.scratch = nil
-	st.maxLat = 0
+	*st = serveState{latencies: make([]sim.Time, 0, capacity)}
 }
 
 func (st *serveState) record(lat sim.Time) {
@@ -298,6 +399,16 @@ func (st *serveState) record(lat sim.Time) {
 	if lat > st.maxLat {
 		st.maxLat = lat
 	}
+	if st.slo > 0 && lat <= st.slo {
+		st.inSLO++
+	}
+}
+
+// censor prices a non-completion (shed, expired, failed-fast) into the
+// latency distribution at the deadline.
+func (st *serveState) censor(at sim.Time) {
+	st.censored++
+	st.censorLat = at
 }
 
 // percentile returns the nearest-rank q-th percentile of sorted.
@@ -315,6 +426,31 @@ func percentile(sorted []sim.Time, q float64) sim.Time {
 	return sorted[idx]
 }
 
+// censoredPercentile is percentile over the conceptual distribution of
+// len(sorted) completion samples plus `censored` samples pinned at
+// censorLat. Censored samples sit at the top of the ranking: the robust
+// layer's deadline event wins same-timestamp ties against serving
+// completions (it is scheduled at arrival, so its sequence number is
+// lower), which guarantees every recorded completion is strictly below
+// the deadline. With censored == 0 this is exactly percentile().
+func censoredPercentile(sorted []sim.Time, censored int, censorLat sim.Time, q float64) sim.Time {
+	n := len(sorted) + censored
+	if n == 0 {
+		return 0
+	}
+	idx := int(q*float64(n)+0.9999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	if idx >= len(sorted) {
+		return censorLat
+	}
+	return sorted[idx]
+}
+
 // ServeStatsInto fills dst (allocating when nil) with the serving view as
 // of virtual time now. The sort scratch is reused across calls, so the
 // boundary snapshot path allocates only on growth.
@@ -322,29 +458,51 @@ func (w *ServeMix) ServeStatsInto(dst *ServeStats, now sim.Time) *ServeStats {
 	if dst == nil {
 		dst = &ServeStats{}
 	}
+	st := &w.state
 	arrived := sort.Search(len(w.schedule), func(i int) bool { return w.schedule[i] > now })
-	done := len(w.state.latencies)
+	done := len(st.latencies)
 	*dst = ServeStats{
 		Arrived:    arrived,
 		Completed:  done,
-		InFlight:   arrived - done,
-		LatencyMax: w.state.maxLat,
+		InFlight:   arrived - done - st.censored,
+		LatencyMax: st.maxLat,
+		Robust:     w.Robust != nil,
 	}
-	if done == 0 {
+	if dst.Robust {
+		dst.Shed = st.shed
+		dst.DeadlineExceeded = st.expired
+		dst.FailedFast = st.failedFast
+		dst.Retried = st.retried
+		dst.Hedged = st.hedged
+		dst.HedgeWins = st.hedgeWins
+		dst.Rerouted = st.rerouted
+		dst.BreakerOpens = st.breakerOpens
+		dst.Wasted = st.wasted
+	}
+	if st.slo > 0 {
+		dst.CompletedInSLO = st.inSLO
+		if now > 0 {
+			dst.SLOGoodputPerSec = float64(st.inSLO) / now.Seconds()
+		}
+	}
+	if st.censored > 0 && st.censorLat > dst.LatencyMax {
+		dst.LatencyMax = st.censorLat
+	}
+	if done+st.censored == 0 {
 		return dst
 	}
-	if now > 0 {
+	if now > 0 && done > 0 {
 		dst.GoodputPerSec = float64(done) / now.Seconds()
 	}
-	if cap(w.state.scratch) < done {
-		w.state.scratch = make([]sim.Time, done)
+	if cap(st.scratch) < done {
+		st.scratch = make([]sim.Time, done)
 	}
-	s := w.state.scratch[:done]
-	copy(s, w.state.latencies)
+	s := st.scratch[:done]
+	copy(s, st.latencies)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	dst.LatencyP50 = percentile(s, 0.50)
-	dst.LatencyP95 = percentile(s, 0.95)
-	dst.LatencyP99 = percentile(s, 0.99)
+	dst.LatencyP50 = censoredPercentile(s, st.censored, st.censorLat, 0.50)
+	dst.LatencyP95 = censoredPercentile(s, st.censored, st.censorLat, 0.95)
+	dst.LatencyP99 = censoredPercentile(s, st.censored, st.censorLat, 0.99)
 	return dst
 }
 

@@ -6,6 +6,14 @@
 // the inlined check path, synchronizes with the DJVM barriers/locks, and
 // maintains realistic shadow stacks so the stack profiler sees transient
 // frames above stable frames holding invariant references.
+//
+// The open-loop serving workload (ServeMix) additionally carries an
+// optional request-lifecycle robustness layer (RobustConfig in robust.go):
+// per-request deadlines with censored-at-deadline percentile accounting,
+// admission control, bounded retries, quantile-delayed hedging, and
+// per-node circuit breakers fed by the kernel's failure detector. The
+// layer is off unless ServeMix.Robust is set, and off-path runs are
+// byte-identical to builds without it.
 package workload
 
 import (

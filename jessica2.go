@@ -204,8 +204,17 @@ type (
 	// an injected arrival schedule (Scenario.Arrivals or SetSchedule).
 	ServeMix = workload.ServeMix
 	// ServeStats is the open-loop serving view (arrivals, goodput,
-	// in-flight depth, latency percentiles) surfaced in Snapshot.Serve.
+	// in-flight depth, latency percentiles, and — when the robustness
+	// layer is on — shed/retry/hedge/breaker accounting plus
+	// goodput-within-SLO) surfaced in Snapshot.Serve.
 	ServeStats = workload.ServeStats
+	// RobustConfig arms ServeMix's request-lifecycle robustness layer:
+	// per-request deadlines, admission control (load shedding), bounded
+	// retries with capped backoff, quantile-delayed hedging, and per-node
+	// circuit breakers fed by the failure detector. Assign to
+	// ServeMix.Robust before Launch; nil keeps the classic byte-identical
+	// serving path.
+	RobustConfig = workload.RobustConfig
 	// OpenLoop is the interface schedule-driven workloads implement.
 	OpenLoop = workload.OpenLoop
 )
@@ -221,6 +230,9 @@ var (
 	NewLUSmall      = workload.NewLUSmall
 	NewKVMix        = workload.NewKVMix
 	NewServeMix     = workload.NewServeMix
+	// DefaultRobustConfig is the full protection stack at serving-scale
+	// defaults (20ms deadline, shedding, retries, P95 hedging, breakers).
+	DefaultRobustConfig = workload.DefaultRobustConfig
 )
 
 // --- scenario engine ---------------------------------------------------------

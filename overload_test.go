@@ -1,0 +1,148 @@
+package jessica2_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"jessica2"
+	"jessica2/internal/runner"
+)
+
+// This file is the serving-robustness determinism gauntlet: every failure
+// preset × protection level must render a byte-identical serving line on
+// repeated runs (including a parallel re-run, so `-race` sweeps the whole
+// grid), and the protection-off lines must stay byte-identical to the
+// golden recorded before the robustness layer existed — proof the layer is
+// invisible when off.
+
+// overloadSpecs are the failure × burst-arrival preset combos under test.
+var overloadSpecs = []string{"crash,burst", "flaky,burst"}
+
+// overloadLevels are the protection levels swept per spec.
+var overloadLevels = []string{"off", "shed", "full"}
+
+// overloadRobust maps a gauntlet protection level onto a ServeMix config,
+// mirroring the Figure G levels at the gauntlet's small scale.
+func overloadRobust(level string) *jessica2.RobustConfig {
+	switch level {
+	case "off":
+		return nil
+	case "shed":
+		return &jessica2.RobustConfig{Deadline: 20 * jessica2.Millisecond, Capacity: 16}
+	case "full":
+		rc := jessica2.DefaultRobustConfig()
+		rc.Capacity = 16
+		return rc
+	}
+	panic("unknown level " + level)
+}
+
+// overloadLine runs one (spec, level) cell — the exact configuration the
+// robust-off golden was recorded under, with the level's protection
+// installed — and renders its serving line.
+func overloadLine(t *testing.T, spec, level string, seed uint64) string {
+	t.Helper()
+	sc, err := jessica2.ParseScenario(spec, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale the preset's arrival stream down so the whole grid stays fast:
+	// same shape (bursts, crash schedule), an eighth of the rate over a
+	// quarter of the horizon.
+	sc.Arrivals.Rate /= 8
+	sc.Arrivals.Horizon /= 4
+
+	cfg := jessica2.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Scenario = sc
+	cfg.Epoch = 25 * jessica2.Millisecond
+	if level == "full" {
+		// The full stack's breakers are fed by the failure detector.
+		cfg.Failure = jessica2.DefaultFailureConfig()
+	}
+	sess := jessica2.NewSession(cfg)
+	w := jessica2.NewServeMix()
+	w.Robust = overloadRobust(level)
+	if err := sess.Launch(w, jessica2.Params{Threads: 8, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AttachProfiling(jessica2.ProfileConfig{Rate: jessica2.FullRate}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetPolicy(jessica2.NewRebalancePolicy()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sess.Snapshot()
+	if snap.Serve == nil {
+		t.Fatalf("%s/%s: no serving snapshot", spec, level)
+	}
+	return fmt.Sprintf("%s seed %d: exec %v | %s", spec, seed, rep.ExecTime(), snap.Serve)
+}
+
+// TestOverloadGauntletDeterministic runs the full preset × protection grid
+// twice — serially, then fanned out over a worker pool — and demands
+// byte-identical serving lines. Under `go test -race` the parallel pass
+// doubles as a data-race sweep of the robust dispatcher.
+func TestOverloadGauntletDeterministic(t *testing.T) {
+	const seed = 42
+	type cell struct{ spec, level string }
+	var cells []cell
+	for _, spec := range overloadSpecs {
+		for _, level := range overloadLevels {
+			cells = append(cells, cell{spec, level})
+		}
+	}
+	serial := make([]string, len(cells))
+	for i, c := range cells {
+		serial[i] = overloadLine(t, c.spec, c.level, seed)
+	}
+	parallel := make([]string, len(cells))
+	runner.Go(runner.New(3), len(cells), func(i int) {
+		parallel[i] = overloadLine(t, cells[i].spec, cells[i].level, seed)
+	})
+	for i, c := range cells {
+		if serial[i] != parallel[i] {
+			t.Errorf("%s/%s not deterministic:\n serial:   %s\n parallel: %s",
+				c.spec, c.level, serial[i], parallel[i])
+		}
+		t.Logf("%-4s %s", c.level, serial[i])
+	}
+	// Protection must change results, or the gauntlet is vacuous: the
+	// levels of one spec may not all render the same line.
+	for _, spec := range overloadSpecs {
+		lines := map[string]bool{}
+		for i, c := range cells {
+			if c.spec == spec {
+				lines[serial[i]] = true
+			}
+		}
+		if len(lines) < 2 {
+			t.Errorf("%s: all protection levels rendered identical lines", spec)
+		}
+	}
+}
+
+// TestOverloadRobustOffGolden pins the robustness layer's off-state: with
+// ServeMix.Robust nil, the serving line (report, kernel, arrivals, stats)
+// must be byte-identical to the golden recorded before the layer existed.
+// Any drift means the layer leaks into unprotected runs.
+func TestOverloadRobustOffGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_serve_off.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, spec := range overloadSpecs {
+		lines = append(lines, overloadLine(t, spec, "off", 42))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	if got != string(want) {
+		t.Fatalf("robust-off serving output drifted from golden:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
